@@ -1,0 +1,54 @@
+"""Figure 13(a): CDN bandwidth required to serve every request.
+
+Paper observation: with no viewer contribution every request is served by
+the CDN (12 Mbps per viewer, i.e. 12000 Mbps at 1000 viewers); when viewer
+outbound bandwidth grows the CDN requirement falls, reaching roughly half
+the total demand when outbound capacity is uniform in 0-12 Mbps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_13a_cdn_bandwidth
+from repro.experiments.reporting import format_scaling_figure
+from repro.traces.workload import BandwidthDistribution
+
+SETTINGS = (
+    BandwidthDistribution.fixed(0.0),
+    BandwidthDistribution.fixed(6.0),
+    BandwidthDistribution.fixed(10.0),
+    BandwidthDistribution.uniform(0.0, 12.0),
+    BandwidthDistribution.uniform(2.0, 10.0),
+    BandwidthDistribution.uniform(4.0, 14.0),
+)
+
+
+def test_fig13a_cdn_bandwidth(benchmark, bench_config, bench_step):
+    figure = benchmark.pedantic(
+        figure_13a_cdn_bandwidth,
+        kwargs={
+            "config": bench_config,
+            "bandwidth_settings": SETTINGS,
+            "step": bench_step,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scaling_figure(figure))
+
+    demand = bench_config.demand_mbps
+    no_contribution = figure.series_by_label("C_obw=0")
+    # With zero outbound contribution the CDN carries the full demand.
+    assert no_contribution.final_value() == demand
+
+    # The CDN requirement decreases monotonically with viewer contribution.
+    final_values = {series.label: series.final_value() for series in figure.series}
+    assert final_values["C_obw=6"] < final_values["C_obw=0"]
+    assert final_values["C_obw=10"] < final_values["C_obw=6"]
+    # The paper's headline: a 0-12 Mbps population needs roughly half the
+    # full demand from the CDN (about 6000 Mbps at 1000 viewers).
+    assert 0.4 * demand <= final_values["C_obw=0-12"] <= 0.7 * demand
+
+    # Every curve grows (weakly) with the number of viewers.
+    for series in figure.series:
+        assert all(b >= a for a, b in zip(series.values, series.values[1:]))

@@ -1,0 +1,47 @@
+"""Figure 13(b): fraction of stream requests served by the CDN.
+
+Paper observation: with the CDN capped at 6000 Mbps, the fraction of
+requests served by the CDN falls as viewers contribute more outbound
+bandwidth; when every viewer contributes at least 8 Mbps (or 4-14 Mbps
+uniformly), 55% or more of the requests are served by the P2P layer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_13b_cdn_fraction
+from repro.experiments.reporting import format_scaling_figure
+from repro.traces.workload import BandwidthDistribution
+
+SETTINGS = (
+    BandwidthDistribution.fixed(0.0),
+    BandwidthDistribution.fixed(4.0),
+    BandwidthDistribution.fixed(8.0),
+    BandwidthDistribution.fixed(10.0),
+    BandwidthDistribution.uniform(0.0, 12.0),
+    BandwidthDistribution.uniform(4.0, 14.0),
+)
+
+
+def test_fig13b_cdn_fraction(benchmark, bench_config, bench_step):
+    figure = benchmark.pedantic(
+        figure_13b_cdn_fraction,
+        kwargs={
+            "config": bench_config,
+            "bandwidth_settings": SETTINGS,
+            "step": bench_step,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scaling_figure(figure))
+
+    final = {series.label: series.final_value() for series in figure.series}
+    # With no contribution, everything that is served comes from the CDN.
+    assert final["C_obw=0"] == 1.0
+    # More viewer contribution means a smaller CDN share.
+    assert final["C_obw=4"] > final["C_obw=8"] > final["C_obw=10"]
+    # The paper's crossover: at >= 8 Mbps per viewer the P2P layer serves
+    # the majority (55% or more) of the requests.
+    assert final["C_obw=8"] <= 0.45
+    assert final["C_obw=4-14"] <= 0.45

@@ -1,0 +1,47 @@
+"""Figure 13(c): request acceptance ratio with a capped CDN.
+
+Paper observation: with the CDN bounded to 6000 Mbps, the acceptance ratio
+is low when viewers contribute nothing (the CDN alone cannot carry the
+demand), grows with viewer contribution, and becomes perfect when every
+viewer contributes at least 8 Mbps or when contributions are uniform in
+4-14 Mbps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_13c_acceptance_ratio
+from repro.experiments.reporting import format_scaling_figure
+from repro.traces.workload import BandwidthDistribution
+
+SETTINGS = (
+    BandwidthDistribution.fixed(0.0),
+    BandwidthDistribution.fixed(4.0),
+    BandwidthDistribution.fixed(6.0),
+    BandwidthDistribution.fixed(8.0),
+    BandwidthDistribution.uniform(0.0, 12.0),
+    BandwidthDistribution.uniform(4.0, 14.0),
+)
+
+
+def test_fig13c_acceptance_ratio(benchmark, bench_config, bench_step):
+    figure = benchmark.pedantic(
+        figure_13c_acceptance_ratio,
+        kwargs={
+            "config": bench_config,
+            "bandwidth_settings": SETTINGS,
+            "step": bench_step,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scaling_figure(figure))
+
+    final = {series.label: series.final_value() for series in figure.series}
+    # No contribution: the capped CDN can only carry about half the demand.
+    assert final["C_obw=0"] < 0.7
+    # Acceptance improves monotonically with contribution.
+    assert final["C_obw=0"] < final["C_obw=4"] < final["C_obw=8"]
+    # The paper's headline: perfect acceptance at >= 8 Mbps and for 4-14 Mbps.
+    assert final["C_obw=8"] >= 0.99
+    assert final["C_obw=4-14"] >= 0.99

@@ -1,0 +1,32 @@
+"""Figure 14(a): distribution of delay layers at the viewers.
+
+Paper observation: with outbound capacity uniform in 0-12 Mbps, about 30%
+of viewers receive all their accepted streams in Layer-0 (directly from
+the CDN) and about 80% are in Layer-4 or less; the tail extends to roughly
+Layer-18.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_14a_layer_distribution
+from repro.experiments.reporting import format_distribution_figure
+
+
+def test_fig14a_layer_distribution(benchmark, bench_config):
+    figure = benchmark.pedantic(
+        figure_14a_layer_distribution,
+        kwargs={"config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_distribution_figure(figure, thresholds=(0.0, 4.0)))
+
+    samples = figure.samples["max_layer"]
+    assert samples, "no connected viewers in the layer experiment"
+    # A substantial fraction of viewers watches everything fresh (Layer-0).
+    assert figure.fraction_at_most("max_layer", 0.0) >= 0.1
+    # Most viewers stay within a handful of layers (paper: ~80% <= Layer-4).
+    assert figure.fraction_at_most("max_layer", 4.0) >= 0.6
+    # The layer bound implied by d_max is never exceeded.
+    assert max(samples) <= bench_config.layer_config().max_layer_index

@@ -1,0 +1,36 @@
+"""Figure 14(b): number of accepted streams per viewer.
+
+Paper observation: with a 6000 Mbps CDN and 0-12 Mbps outbound capacity,
+most viewers (above 70%) receive all 6 streams of their view; about 15% of
+viewers receive none because of the bandwidth limitation; every connected
+viewer receives at least one stream per producer site.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_14b_accepted_streams
+from repro.experiments.reporting import format_distribution_figure
+
+
+def test_fig14b_accepted_streams(benchmark, bench_config):
+    figure = benchmark.pedantic(
+        figure_14b_accepted_streams,
+        kwargs={"config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_distribution_figure(figure, thresholds=(0.0, 5.0)))
+
+    samples = figure.samples["accepted_streams"]
+    assert samples
+    full_view = bench_config.streams_per_view
+    fraction_full = sum(1 for value in samples if value >= full_view) / len(samples)
+    fraction_none = sum(1 for value in samples if value == 0) / len(samples)
+    # Most viewers receive the complete view (paper: above 70%).
+    assert fraction_full >= 0.6
+    # A minority is rejected outright by the bandwidth limitation (paper: ~15%).
+    assert fraction_none <= 0.35
+    # Connected viewers never receive fewer streams than producer sites.
+    connected = [value for value in samples if value > 0]
+    assert all(value >= bench_config.num_sites for value in connected)

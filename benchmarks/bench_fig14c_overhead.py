@@ -1,0 +1,34 @@
+"""Figure 14(c): control-plane overhead of joins and view changes.
+
+Paper observation: the viewer join (registration, bandwidth allocation,
+topology formation, stream subscription) completes within about 1.5
+seconds; a view change is served within about 500 ms because the new
+streams are delivered from the CDN while the background join completes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_14c_overhead
+from repro.experiments.reporting import format_distribution_figure
+
+
+def test_fig14c_overhead(benchmark, bench_config):
+    figure = benchmark.pedantic(
+        figure_14c_overhead,
+        kwargs={"config": bench_config, "view_change_probability": 0.3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_distribution_figure(figure, thresholds=(0.5, 1.5)))
+
+    joins = figure.samples["join_delay"]
+    changes = figure.samples["view_change_delay"]
+    assert joins and changes
+    # Join completes within the paper's ~1.5 s envelope.
+    assert max(joins) <= 2.0
+    assert figure.fraction_at_most("join_delay", 1.5) >= 0.95
+    # View changes are served quickly from the CDN (paper: within 500 ms).
+    assert figure.fraction_at_most("view_change_delay", 0.5) >= 0.9
+    # View changes are faster than full joins.
+    assert (sum(changes) / len(changes)) < (sum(joins) / len(joins))

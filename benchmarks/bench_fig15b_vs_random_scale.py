@@ -1,0 +1,35 @@
+"""Figure 15(b): 4D TeleCast vs. Random routing as the audience scales.
+
+Paper observation: with viewers contributing 2-14 Mbps of outbound
+bandwidth, 4D TeleCast sustains a 98-99% acceptance ratio as the audience
+grows to 1000 viewers, while the Random scheme degrades into the 80-88%
+range.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_15b_vs_random_scale
+from repro.experiments.reporting import format_scaling_figure
+
+
+def test_fig15b_vs_random_scale(benchmark, bench_config, bench_step):
+    figure = benchmark.pedantic(
+        figure_15b_vs_random_scale,
+        kwargs={"config": bench_config, "step": bench_step},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scaling_figure(figure))
+
+    telecast = figure.series_by_label("TeleCast")
+    random_series = figure.series_by_label("Random")
+    # TeleCast sustains near-perfect acceptance at the largest population.
+    assert telecast.final_value() >= 0.97
+    # Random degrades below TeleCast as the population grows.
+    assert random_series.final_value() <= telecast.final_value() - 0.05
+    # Random's acceptance does not improve with scale (weakly decreasing trend).
+    assert random_series.final_value() <= random_series.values[0] + 1e-9
+    # TeleCast never loses to Random at any population size.
+    for telecast_value, random_value in zip(telecast.values, random_series.values):
+        assert telecast_value >= random_value - 0.02

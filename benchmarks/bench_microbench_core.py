@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the core algorithms.
+
+These time the hot operations of the control plane -- degree push-down
+insertion, bandwidth allocation and the view-synchronization planning --
+so regressions in their cost (they all run on every viewer join) are
+visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.core.bandwidth import allocate_inbound, allocate_outbound
+from repro.core.layering import DelayLayerConfig
+from repro.core.state import StreamSubscription
+from repro.core.subscription import plan_view_synchronization
+from repro.core.telecast import build_views
+from repro.core.topology import StreamTree
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.producer import make_default_producers
+from repro.net.latency import DelayModel, LatencyMatrix
+from repro.sim.rng import SeededRandom
+
+
+def _default_view():
+    producers = make_default_producers()
+    return build_views(producers, num_views=1, streams_per_site=3)[0]
+
+
+def test_bench_inbound_allocation(benchmark):
+    view = _default_view()
+    supply = {stream_id: 1000.0 for stream_id in view.stream_ids}
+    result = benchmark(allocate_inbound, view, 12.0, supply)
+    assert result.request_accepted
+
+
+def test_bench_outbound_allocation(benchmark):
+    view = _default_view()
+    accepted = view.prioritized_streams
+    result = benchmark(allocate_outbound, accepted, 10.0)
+    assert result.total_out_degree == 5
+
+
+def test_bench_degree_pushdown_insert(benchmark):
+    producers = make_default_producers()
+    stream = producers[0].streams[0]
+    delay_model = DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1)
+    rng = SeededRandom(3)
+
+    def build_tree_of_500() -> StreamTree:
+        tree = StreamTree(stream, delay_model, d_max=10_000.0)
+        for index in range(500):
+            capacity = rng.uniform(0.0, 12.0)
+            tree.insert(f"viewer-{index:04d}", int(capacity // 4.0), capacity)
+        return tree
+
+    tree = benchmark.pedantic(build_tree_of_500, rounds=3, iterations=1)
+    tree.validate()
+    assert len(tree) == 500
+
+
+def test_bench_view_sync_planning(benchmark):
+    view = _default_view()
+    config = DelayLayerConfig()
+    delay_model = DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1)
+    subscriptions = {}
+    parent_delays = {}
+    for index, stream in enumerate(view.streams):
+        subscriptions[stream.stream_id] = StreamSubscription(
+            stream=stream,
+            parent_id=CDN_NODE_ID if index % 2 == 0 else "viewer-parent",
+            end_to_end_delay=60.0 + 0.1 * index,
+            effective_delay=60.0 + 0.1 * index,
+            via_cdn=index % 2 == 0,
+        )
+        parent_delays[stream.stream_id] = 60.0 + 0.05 * index
+
+    plan = benchmark(
+        plan_view_synchronization,
+        config,
+        delay_model,
+        "viewer-under-test",
+        subscriptions,
+        parent_delays,
+    )
+    assert plan.layer_spread() <= config.kappa

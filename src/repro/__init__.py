@@ -1,0 +1,41 @@
+"""Reproduction of *4D TeleCast* (ICDCS 2012).
+
+4D TeleCast is a hybrid CDN + P2P dissemination framework for 3D
+tele-immersive (3DTI) content.  A handful of producer sites each host
+several 3D camera streams; a large population of passive viewers each
+subscribe to a *view* -- a prioritized bundle of streams, one local view per
+producer site -- and may change views at run time.
+
+This package provides:
+
+``repro.sim``
+    A discrete-event simulation engine (the substrate the paper's own
+    evaluation runs on).
+``repro.net``
+    Network latency substrate: synthetic PlanetLab-like all-pairs delay
+    matrices with region structure.
+``repro.traces``
+    Synthetic TEEVE-like 3DTI activity traces and viewer workloads
+    (arrivals, departures, view changes, flash crowds).
+``repro.model``
+    The stream / view / frame model, producer sites, viewers (buffer and
+    cache), and the CDN.
+``repro.core``
+    The paper's primary contribution: priority-based bandwidth allocation,
+    degree push-down overlay formation, the session routing table, the
+    delay-layer hierarchy, stream subscription (view synchronization), the
+    session controllers (GSC / LSC) and run-time adaptation, all glued
+    together by :class:`repro.core.telecast.TeleCastSystem`.
+``repro.baselines``
+    The Random dissemination baseline the paper compares against.
+``repro.metrics``
+    Metric collectors and statistics helpers (acceptance ratio, CDN usage,
+    layer distributions, join / view-change latency, CDFs).
+``repro.experiments``
+    Experiment configurations mirroring Section VII of the paper and
+    drivers that regenerate every figure of the evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

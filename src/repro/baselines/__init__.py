@@ -1,0 +1,5 @@
+"""Baseline dissemination schemes the paper compares against."""
+
+from repro.baselines.random_routing import RandomDisseminationSystem
+
+__all__ = ["RandomDisseminationSystem"]

@@ -1,0 +1,245 @@
+"""Run-time adaptation: view changes, departures, victims and layer refresh.
+
+Section VI of the paper describes three adaptation mechanisms:
+
+* **View change adaptation** -- a viewer switching views is served the new
+  view's streams straight from the CDN so the change feels instantaneous,
+  while a normal (background) join places it into the new view group's
+  overlay; once that completes the CDN fast path is released.
+* **Victim recovery** -- viewers orphaned by a departure or a view change
+  keep their own subtrees and are first supported from the CDN at their
+  current delay layer, then re-positioned with degree push-down.
+* **Delay layer adaptation** -- viewers periodically re-evaluate stream
+  delays; when the ``kappa`` bound is violated the stream-subscription
+  process re-runs, and streams that exceed the maximum acceptable layer
+  are dropped or re-provisioned from the CDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controllers import JoinResult, LocalSessionController
+from repro.core.group import ViewGroup
+from repro.core.state import ViewerSession
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.stream import StreamId
+from repro.model.view import GlobalView
+from repro.model.viewer import Viewer
+
+
+@dataclass(frozen=True)
+class ViewChangeResult:
+    """Outcome of a view change."""
+
+    viewer_id: str
+    old_view_id: str
+    new_view_id: str
+    accepted: bool
+    fast_path_delay: float
+    join_result: JoinResult
+    victims: Tuple[Tuple[StreamId, str], ...] = ()
+    recovered_victims: int = 0
+
+
+@dataclass(frozen=True)
+class DepartureResult:
+    """Outcome of a departure (or failure) of a connected viewer."""
+
+    viewer_id: str
+    departed: bool
+    victims: Tuple[Tuple[StreamId, str], ...] = ()
+    recovered_victims: int = 0
+    lost_subscriptions: int = 0
+
+
+class AdaptationManager:
+    """Implements Section VI on top of a Local Session Controller."""
+
+    def __init__(self, lsc: LocalSessionController) -> None:
+        self.lsc = lsc
+
+    # -- departures ------------------------------------------------------------
+
+    def handle_departure(self, viewer_id: str, now: float = 0.0) -> DepartureResult:
+        """Remove a viewer and recover the victims it leaves behind."""
+        session = self.lsc.session_of(viewer_id)
+        if session is None:
+            return DepartureResult(viewer_id=viewer_id, departed=False)
+        group = self.lsc.groups.get(session.view.view_id)
+        victims: List[Tuple[StreamId, str]] = []
+        if group is not None:
+            for stream_id in list(session.subscriptions):
+                orphans = self.lsc._detach_stream(
+                    group, viewer_id, stream_id, reattach_to_parent=False
+                )
+                victims.extend((stream_id, orphan) for orphan in orphans)
+            group.remove_session(viewer_id)
+        self.lsc.sessions.pop(viewer_id, None)
+        recovered, lost = self._recover_victims(group, victims, now) if group else (0, 0)
+        return DepartureResult(
+            viewer_id=viewer_id,
+            departed=True,
+            victims=tuple(victims),
+            recovered_victims=recovered,
+            lost_subscriptions=lost,
+        )
+
+    # -- view changes ---------------------------------------------------------------
+
+    def handle_view_change(
+        self, viewer_id: str, new_view: GlobalView, now: float = 0.0
+    ) -> ViewChangeResult:
+        """Switch a connected viewer to a new view.
+
+        The fast path (serving the new streams from the CDN) determines the
+        user-perceived view-change latency; the background join determines
+        the viewer's steady-state position.  In the simulation the steady
+        state is applied directly and the fast-path latency is reported.
+        """
+        session = self.lsc.session_of(viewer_id)
+        if session is None:
+            raise KeyError(f"viewer {viewer_id} is not connected")
+        old_view = session.view
+        viewer = session.viewer
+        fast_path_delay = self.lsc.view_change_fast_path_delay(viewer)
+
+        departure = self.handle_departure(viewer_id, now)
+        join_result = self.lsc.join(viewer, new_view, now)
+        return ViewChangeResult(
+            viewer_id=viewer_id,
+            old_view_id=old_view.view_id,
+            new_view_id=new_view.view_id,
+            accepted=join_result.accepted,
+            fast_path_delay=fast_path_delay,
+            join_result=join_result,
+            victims=departure.victims,
+            recovered_victims=departure.recovered_victims,
+        )
+
+    # -- victim recovery ------------------------------------------------------------
+
+    def _recover_victims(
+        self,
+        group: ViewGroup,
+        victims: List[Tuple[StreamId, str]],
+        now: float,
+    ) -> Tuple[int, int]:
+        """Re-attach orphaned viewers, CDN first, then any free P2P slot.
+
+        Returns ``(recovered, lost)`` counts.  A victim that cannot be
+        re-attached loses that stream subscription; its own children then
+        become victims of the same stream and are processed recursively.
+        """
+        recovered = 0
+        lost = 0
+        queue = list(victims)
+        while queue:
+            stream_id, victim_id = queue.pop(0)
+            victim_session = self.lsc.session_of(victim_id)
+            tree = group.tree(stream_id)
+            if victim_session is None or victim_id not in tree:
+                continue
+            stream = tree.stream
+            attached = False
+            # CDN first, at the victim's current delay layer.
+            if self.lsc.cdn.can_serve(stream.bandwidth_mbps):
+                if self.lsc.cdn.allocate(stream_id, stream.bandwidth_mbps):
+                    result = tree.reattach_orphan(victim_id, CDN_NODE_ID)
+                    if result.accepted:
+                        attached = True
+                    else:
+                        self.lsc.cdn.release(stream_id, stream.bandwidth_mbps)
+            if not attached:
+                parent_id = self._find_free_parent(group, stream_id, victim_id)
+                if parent_id is not None:
+                    result = tree.reattach_orphan(victim_id, parent_id)
+                    attached = result.accepted
+            if attached:
+                recovered += 1
+                self.lsc._after_reattach(group, stream_id, victim_id, tree.node(victim_id).parent_id)
+                self.lsc._propagate_subscription(group, stream_id, victim_id, now)
+            else:
+                lost += 1
+                orphans = self.lsc._detach_stream(
+                    group, victim_id, stream_id, reattach_to_parent=False
+                )
+                if victim_session is not None:
+                    victim_session.drop_subscription(stream_id)
+                queue.extend((stream_id, orphan) for orphan in orphans)
+        return recovered, lost
+
+    def _find_free_parent(
+        self, group: ViewGroup, stream_id: StreamId, victim_id: str
+    ) -> Optional[str]:
+        """Find the shallowest member of the stream tree with a free child slot.
+
+        The victim keeps its subtree, so its own descendants are skipped to
+        avoid creating a cycle.
+        """
+        tree = group.tree(stream_id)
+        blocked = self._subtree_of(group, stream_id, victim_id)
+        frontier = list(tree.root.children)
+        while frontier:
+            candidates = sorted(
+                (tree.node(nid) for nid in frontier if nid not in blocked),
+                key=lambda n: (-n.free_slots, -n.outbound_capacity, n.node_id),
+            )
+            for candidate in candidates:
+                if candidate.free_slots > 0:
+                    return candidate.node_id
+            next_frontier: List[str] = []
+            for nid in frontier:
+                if nid in blocked:
+                    continue
+                next_frontier.extend(tree.node(nid).children)
+            frontier = next_frontier
+        return None
+
+    def _subtree_of(self, group: ViewGroup, stream_id: StreamId, root_id: str) -> set:
+        """All node ids in the subtree rooted at ``root_id`` (including itself)."""
+        tree = group.tree(stream_id)
+        seen = set()
+        stack = [root_id]
+        while stack:
+            nid = stack.pop()
+            if nid in seen or nid not in tree:
+                continue
+            seen.add(nid)
+            stack.extend(tree.node(nid).children)
+        return seen
+
+    # -- delay layer adaptation -------------------------------------------------------
+
+    def refresh_layers(self, now: float = 0.0) -> Dict[str, List[StreamId]]:
+        """Periodic delay-layer adaptation across all sessions of the LSC.
+
+        Every session refreshes its structural delays from the overlay
+        trees and re-runs the subscription process when the ``kappa`` bound
+        is violated or a stream exceeded the maximum acceptable layer.
+        Returns, per viewer, the streams dropped by the refresh.
+        """
+        dropped_per_viewer: Dict[str, List[StreamId]] = {}
+        for viewer_id, session in list(self.lsc.sessions.items()):
+            group = self.lsc.groups.get(session.view.view_id)
+            if group is None:
+                continue
+            changed = False
+            for stream_id, sub in session.subscriptions.items():
+                tree = group.tree(stream_id)
+                if viewer_id in tree:
+                    structural = tree.end_to_end_delay(viewer_id)
+                    if abs(structural - sub.end_to_end_delay) > 1e-9:
+                        sub.end_to_end_delay = structural
+                        changed = True
+            violates_skew = not session.skew_bound_satisfied(self.lsc.layer_config.kappa)
+            violates_dmax = any(
+                not self.lsc.layer_config.is_acceptable_layer(sub.layer)
+                for sub in session.subscriptions.values()
+            )
+            if changed or violates_skew or violates_dmax:
+                dropped = self.lsc._run_view_sync(group, session, now)
+                if dropped:
+                    dropped_per_viewer[viewer_id] = dropped
+        return dropped_per_viewer

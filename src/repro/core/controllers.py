@@ -1,0 +1,612 @@
+"""Session controllers: the GSC, the LSCs and the viewer join pipeline.
+
+The Global Session Controller (GSC) manages the live session: it tracks
+producer metadata (frame rates, latest frame numbers), assigns each viewer
+to the Local Session Controller (LSC) of its geographic region, and serves
+metadata queries.  Each LSC handles the join/leave/view-change requests of
+the viewers in its cluster: bandwidth allocation, topology formation via
+degree push-down, routing-table installation and the stream-subscription
+(view synchronization) process, exactly in the order of Figure 5 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bandwidth import allocate_inbound, allocate_outbound
+from repro.core.group import ViewGroup
+from repro.core.layering import DelayLayerConfig
+from repro.core.state import StreamSubscription, ViewerSession
+from repro.core.subscription import (
+    apply_plan,
+    needs_resubscription,
+    plan_view_synchronization,
+)
+from repro.core.topology import InsertResult
+from repro.model.cdn import CDN, CDN_NODE_ID
+from repro.model.stream import Stream, StreamId
+from repro.model.view import GlobalView
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel
+
+#: Node identifier of the Global Session Controller in the latency matrix.
+GSC_NODE_ID = "GSC"
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Outcome of a viewer join (or of the background join of a view change)."""
+
+    viewer_id: str
+    view_id: str
+    accepted: bool
+    requested_stream_ids: Tuple[StreamId, ...]
+    accepted_stream_ids: Tuple[StreamId, ...] = ()
+    cdn_stream_ids: Tuple[StreamId, ...] = ()
+    dropped_by_sync: Tuple[StreamId, ...] = ()
+    join_delay: float = 0.0
+    reason: str = ""
+
+    @property
+    def num_requested(self) -> int:
+        """Number of streams in the view request."""
+        return len(self.requested_stream_ids)
+
+    @property
+    def num_accepted(self) -> int:
+        """Number of streams actually delivered to the viewer."""
+        return len(self.accepted_stream_ids)
+
+
+class GSCMonitor:
+    """The GSC monitoring component: producer metadata and stream registry."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[StreamId, Stream] = {}
+        self._session_start: float = 0.0
+
+    def register_stream(self, stream: Stream) -> None:
+        """Record a producer stream's metadata (rate, bandwidth)."""
+        self._streams[stream.stream_id] = stream
+
+    def stream(self, stream_id: StreamId) -> Stream:
+        """Metadata of one stream."""
+        return self._streams[stream_id]
+
+    def known_streams(self) -> List[StreamId]:
+        """All registered streams."""
+        return list(self._streams)
+
+    def latest_frame_number(self, stream_id: StreamId, now: float) -> int:
+        """Latest frame number captured at the producer by time ``now``."""
+        stream = self._streams[stream_id]
+        elapsed = max(0.0, now - self._session_start)
+        return int(elapsed * stream.frame_rate)
+
+    def latest_frame_numbers(self, now: float) -> Dict[StreamId, int]:
+        """Latest frame numbers of all registered streams."""
+        return {sid: self.latest_frame_number(sid, now) for sid in self._streams}
+
+
+class LocalSessionController:
+    """A region-local controller managing joins, leaves and overlay state."""
+
+    def __init__(
+        self,
+        lsc_id: str,
+        cdn: CDN,
+        delay_model: DelayModel,
+        layer_config: DelayLayerConfig,
+        monitor: GSCMonitor,
+        *,
+        node_id: Optional[str] = None,
+    ) -> None:
+        self.lsc_id = lsc_id
+        self.node_id = node_id or lsc_id
+        self.cdn = cdn
+        self.delay_model = delay_model
+        self.layer_config = layer_config
+        self.monitor = monitor
+        self.groups: Dict[str, ViewGroup] = {}
+        self.sessions: Dict[str, ViewerSession] = {}
+
+    # -- group management ----------------------------------------------------
+
+    def group_for(self, view: GlobalView) -> ViewGroup:
+        """Return (creating on demand) the view group of a global view."""
+        if view.view_id not in self.groups:
+            self.groups[view.view_id] = ViewGroup(
+                view=view,
+                delay_model=self.delay_model,
+                d_max=self.layer_config.d_max,
+            )
+        return self.groups[view.view_id]
+
+    def session_of(self, viewer_id: str) -> Optional[ViewerSession]:
+        """Session of a connected viewer, ``None`` if not connected here."""
+        return self.sessions.get(viewer_id)
+
+    # -- join ------------------------------------------------------------------
+
+    def join(self, viewer: Viewer, view: GlobalView, now: float = 0.0) -> JoinResult:
+        """Handle a viewer join: bandwidth allocation, topology, subscription.
+
+        Implements the pipeline of Figure 5: the LSC allocates inbound then
+        outbound bandwidth, forms the per-stream overlay topology with
+        degree push-down (falling back to the CDN), installs routing table
+        entries at the viewer and its parents, and finally runs the stream
+        subscription process that bounds the inter-stream skew.
+        """
+        if viewer.viewer_id in self.sessions:
+            raise ValueError(f"viewer {viewer.viewer_id} is already connected")
+        requested = view.stream_ids
+        group = self.group_for(view)
+
+        inbound = allocate_inbound(
+            view, viewer.inbound_capacity_mbps, group.supply_map(self.cdn)
+        )
+        if not inbound.request_accepted:
+            return JoinResult(
+                viewer_id=viewer.viewer_id,
+                view_id=view.view_id,
+                accepted=False,
+                requested_stream_ids=requested,
+                join_delay=self._join_delay(viewer, parents=()),
+                reason="insufficient inbound capacity or stream supply",
+            )
+
+        outbound = allocate_outbound(inbound.accepted, viewer.outbound_capacity_mbps)
+        session = ViewerSession(
+            viewer=viewer,
+            view=view,
+            lsc_id=self.lsc_id,
+            join_time=now,
+            outbound_allocation_mbps=dict(outbound.per_stream_mbps),
+            out_degree=dict(outbound.out_degree),
+            rejected_stream_ids=tuple(e.stream_id for e in inbound.rejected),
+        )
+
+        displaced: List[Tuple[StreamId, str]] = []
+        for entry in inbound.accepted:
+            result = self._place_stream(
+                group, session, entry.stream, outbound.out_degree.get(entry.stream_id, 0)
+            )
+            if result is not None and result.displaced_node_id is not None:
+                displaced.append((entry.stream_id, result.displaced_node_id))
+
+        must_have = set(view.highest_priority_per_site.values())
+        if not must_have.issubset(set(session.subscriptions)):
+            self._rollback(group, session)
+            return JoinResult(
+                viewer_id=viewer.viewer_id,
+                view_id=view.view_id,
+                accepted=False,
+                requested_stream_ids=requested,
+                join_delay=self._join_delay(viewer, parents=()),
+                reason="could not place the highest-priority stream of every site",
+            )
+
+        for stream_id, displaced_id in displaced:
+            self._sync_displaced_parentage(group, stream_id, displaced_id, session.viewer_id)
+
+        dropped = self._run_view_sync(group, session, now)
+        self._install_routing(group, session)
+
+        group.add_session(session)
+        self.sessions[viewer.viewer_id] = session
+
+        for stream_id, displaced_id in displaced:
+            self._propagate_subscription(group, stream_id, displaced_id, now)
+
+        parents = tuple(
+            sub.parent_id
+            for sub in session.subscriptions.values()
+            if sub.parent_id != CDN_NODE_ID
+        )
+        session.join_delay = self._join_delay(viewer, parents=parents)
+        return JoinResult(
+            viewer_id=viewer.viewer_id,
+            view_id=view.view_id,
+            accepted=True,
+            requested_stream_ids=requested,
+            accepted_stream_ids=tuple(session.subscriptions),
+            cdn_stream_ids=tuple(
+                sid for sid, sub in session.subscriptions.items() if sub.via_cdn
+            ),
+            dropped_by_sync=tuple(dropped),
+            join_delay=session.join_delay,
+        )
+
+    def _place_stream(
+        self,
+        group: ViewGroup,
+        session: ViewerSession,
+        stream: Stream,
+        out_degree: int,
+    ) -> Optional[InsertResult]:
+        """Insert one accepted stream of a joining viewer into its overlay tree."""
+        tree = group.tree(stream.stream_id)
+        allow_cdn = self.cdn.can_serve(stream.bandwidth_mbps)
+        result = tree.insert(
+            session.viewer_id,
+            out_degree,
+            session.viewer.outbound_capacity_mbps,
+            allow_cdn=allow_cdn,
+        )
+        if not result.accepted:
+            return None
+        if result.via_cdn and result.displaced_node_id is None:
+            # A fresh CDN subscription; when a CDN-fed node was displaced the
+            # existing CDN slot simply transfers to the joining viewer.
+            if not self.cdn.allocate(stream.stream_id, stream.bandwidth_mbps):
+                tree.remove(session.viewer_id)
+                return None
+        session.subscriptions[stream.stream_id] = StreamSubscription(
+            stream=stream,
+            parent_id=result.parent_id or CDN_NODE_ID,
+            end_to_end_delay=result.end_to_end_delay,
+            effective_delay=result.end_to_end_delay,
+            via_cdn=result.via_cdn,
+        )
+        return result
+
+    def _sync_displaced_parentage(
+        self, group: ViewGroup, stream_id: StreamId, displaced_id: str, new_parent_id: str
+    ) -> None:
+        """Update the session and routing state of a viewer pushed down by a join."""
+        displaced_session = self.sessions.get(displaced_id)
+        tree = group.tree(stream_id)
+        if displaced_session is None or stream_id not in displaced_session.subscriptions:
+            return
+        sub = displaced_session.subscriptions[stream_id]
+        old_parent_id = sub.parent_id
+        sub.parent_id = new_parent_id
+        sub.end_to_end_delay = tree.end_to_end_delay(displaced_id)
+        sub.effective_delay = max(sub.effective_delay, sub.end_to_end_delay)
+        sub.via_cdn = new_parent_id == CDN_NODE_ID
+        displaced_session.routing_table.reparent(stream_id, new_parent_id)
+        # The old parent no longer forwards this stream to the displaced
+        # viewer (the joining viewer took its slot).
+        old_parent_session = self.sessions.get(old_parent_id)
+        if old_parent_session is not None:
+            entry = old_parent_session.routing_table.lookup_stream(stream_id)
+            if entry is not None:
+                entry.remove_child(displaced_id)
+        if old_parent_id == CDN_NODE_ID and not sub.via_cdn:
+            # The CDN slot previously feeding the displaced viewer now feeds
+            # the joining viewer instead; aggregate CDN usage is unchanged.
+            pass
+
+    # -- view synchronization --------------------------------------------------
+
+    def _run_view_sync(
+        self, group: ViewGroup, session: ViewerSession, now: float
+    ) -> List[StreamId]:
+        """Run the stream-subscription process for one viewer.
+
+        Streams whose achievable layer exceeds the maximum acceptable layer
+        are first re-provisioned directly from the CDN (Section VI's delay
+        layer adaptation); only when the CDN cannot serve them either are
+        they dropped and their resources released.
+        """
+        plan = self._plan_for(group, session)
+        if plan.dropped_stream_ids:
+            reprovisioned = False
+            for stream_id in plan.dropped_stream_ids:
+                if self._reprovision_from_cdn(group, session, stream_id):
+                    reprovisioned = True
+            if reprovisioned:
+                plan = self._plan_for(group, session)
+        dropped = apply_plan(
+            self.layer_config,
+            self.delay_model,
+            session,
+            plan,
+            latest_frame_numbers=self.monitor.latest_frame_numbers(now),
+        )
+        for stream_id in dropped:
+            self._detach_stream(group, session.viewer_id, stream_id, reattach_to_parent=True)
+        return dropped
+
+    def _plan_for(self, group: ViewGroup, session: ViewerSession):
+        """Compute the view-synchronization plan from current parent delays."""
+        parent_delays = {
+            sid: group.parent_effective_delay(sid, sub.parent_id)
+            for sid, sub in session.subscriptions.items()
+        }
+        return plan_view_synchronization(
+            self.layer_config,
+            self.delay_model,
+            session.viewer_id,
+            session.subscriptions,
+            parent_delays,
+        )
+
+    def _reprovision_from_cdn(
+        self, group: ViewGroup, session: ViewerSession, stream_id: StreamId
+    ) -> bool:
+        """Move a stream subscription of a viewer onto the CDN, keeping its subtree.
+
+        Used when the achievable delay layer through the current (viewer)
+        parent exceeds the maximum acceptable layer.  Returns ``False`` when
+        the parent already is the CDN or the CDN has no capacity left.
+        """
+        sub = session.subscriptions.get(stream_id)
+        if sub is None or sub.via_cdn:
+            return False
+        tree = group.tree(stream_id)
+        if session.viewer_id not in tree:
+            return False
+        stream = tree.stream
+        if not self.cdn.can_serve(stream.bandwidth_mbps):
+            return False
+        if not self.cdn.allocate(stream_id, stream.bandwidth_mbps):
+            return False
+        old_parent = sub.parent_id
+        result = tree.reparent(session.viewer_id, CDN_NODE_ID)
+        if not result.accepted:
+            self.cdn.release(stream_id, stream.bandwidth_mbps)
+            return False
+        old_parent_session = self.sessions.get(old_parent)
+        if old_parent_session is not None:
+            entry = old_parent_session.routing_table.lookup_stream(stream_id)
+            if entry is not None:
+                entry.remove_child(session.viewer_id)
+        sub.parent_id = CDN_NODE_ID
+        sub.via_cdn = True
+        sub.end_to_end_delay = result.end_to_end_delay
+        sub.effective_delay = result.end_to_end_delay
+        sub.layer = 0
+        session.routing_table.reparent(stream_id, CDN_NODE_ID)
+        return True
+
+    def _propagate_subscription(
+        self, group: ViewGroup, stream_id: StreamId, start_viewer_id: str, now: float
+    ) -> None:
+        """Propagate delay changes down a stream tree after a push-down.
+
+        Walks the subtree rooted at ``start_viewer_id`` in breadth-first
+        order; every affected viewer refreshes the structural delay of the
+        stream and re-runs its own subscription process when the parent's
+        new effective delay can no longer support its current layer.
+        """
+        tree = group.tree(stream_id)
+        if start_viewer_id not in tree:
+            return
+        queue: List[str] = [start_viewer_id]
+        while queue:
+            current_id = queue.pop(0)
+            current_session = self.sessions.get(current_id)
+            if current_session is None or stream_id not in current_session.subscriptions:
+                continue
+            sub = current_session.subscriptions[stream_id]
+            if current_id in tree:
+                sub.end_to_end_delay = tree.end_to_end_delay(current_id)
+                queue.extend(tree.node(current_id).children)
+            parent_delay = group.parent_effective_delay(stream_id, sub.parent_id)
+            if needs_resubscription(
+                self.layer_config, self.delay_model, current_session, stream_id, parent_delay
+            ) or sub.end_to_end_delay > sub.effective_delay:
+                self._run_view_sync(group, current_session, now)
+
+    # -- routing ---------------------------------------------------------------
+
+    def _install_routing(self, group: ViewGroup, session: ViewerSession) -> None:
+        """Create routing entries at the joining viewer and its parents."""
+        for stream_id, sub in session.subscriptions.items():
+            session.routing_table.upsert(sub.parent_id, stream_id)
+            parent_session = self.sessions.get(sub.parent_id)
+            if parent_session is None:
+                continue
+            parent_sub = parent_session.subscriptions.get(stream_id)
+            grandparent = parent_sub.parent_id if parent_sub else CDN_NODE_ID
+            entry = parent_session.routing_table.upsert(grandparent, stream_id)
+            entry.add_child(
+                session.viewer_id, subscription_frame=sub.subscription_frame
+            )
+
+    # -- teardown helpers --------------------------------------------------------
+
+    def _detach_stream(
+        self,
+        group: ViewGroup,
+        viewer_id: str,
+        stream_id: StreamId,
+        *,
+        reattach_to_parent: bool,
+    ) -> List[str]:
+        """Remove a viewer from one stream tree, releasing CDN bandwidth.
+
+        Returns the orphaned children (victims).  With ``reattach_to_parent``
+        the orphans are re-attached under the removed viewer's former parent
+        when it has free capacity (used for rollbacks and sync drops, where
+        the hole should be repaired in place); otherwise they are left for
+        the adaptation component to recover via the CDN.
+        """
+        tree = group.tree(stream_id)
+        if viewer_id not in tree:
+            return []
+        node = tree.node(viewer_id)
+        former_parent = node.parent_id
+        was_cdn_fed = former_parent == CDN_NODE_ID
+        removal = tree.remove(viewer_id)
+        if was_cdn_fed and removal.removed:
+            self.cdn.release(stream_id, tree.stream.bandwidth_mbps)
+        if former_parent is not None:
+            parent_session = self.sessions.get(former_parent)
+            if parent_session is not None:
+                entry = parent_session.routing_table.lookup_stream(stream_id)
+                if entry is not None:
+                    entry.remove_child(viewer_id)
+        orphans = list(removal.orphaned_children)
+        if reattach_to_parent and former_parent is not None:
+            remaining: List[str] = []
+            for orphan in orphans:
+                target = former_parent
+                if target == CDN_NODE_ID:
+                    if not self.cdn.allocate(stream_id, tree.stream.bandwidth_mbps):
+                        remaining.append(orphan)
+                        continue
+                result = tree.reattach_orphan(orphan, target)
+                if not result.accepted:
+                    if target == CDN_NODE_ID:
+                        self.cdn.release(stream_id, tree.stream.bandwidth_mbps)
+                    remaining.append(orphan)
+                else:
+                    self._after_reattach(group, stream_id, orphan, target)
+            orphans = remaining
+        return orphans
+
+    def _after_reattach(
+        self, group: ViewGroup, stream_id: StreamId, viewer_id: str, new_parent_id: str
+    ) -> None:
+        """Refresh session state of a viewer re-attached inside a stream tree."""
+        session = self.sessions.get(viewer_id)
+        tree = group.tree(stream_id)
+        if session is None or stream_id not in session.subscriptions:
+            return
+        sub = session.subscriptions[stream_id]
+        sub.parent_id = new_parent_id
+        sub.via_cdn = new_parent_id == CDN_NODE_ID
+        sub.end_to_end_delay = tree.end_to_end_delay(viewer_id)
+        sub.effective_delay = max(sub.effective_delay, sub.end_to_end_delay)
+        session.routing_table.reparent(stream_id, new_parent_id)
+        parent_session = self.sessions.get(new_parent_id)
+        if parent_session is not None:
+            parent_sub = parent_session.subscriptions.get(stream_id)
+            grandparent = parent_sub.parent_id if parent_sub else CDN_NODE_ID
+            parent_session.routing_table.upsert(grandparent, stream_id).add_child(viewer_id)
+
+    def _rollback(self, group: ViewGroup, session: ViewerSession) -> None:
+        """Undo all tree placements of a join that is ultimately rejected."""
+        for stream_id in list(session.subscriptions):
+            self._detach_stream(
+                group, session.viewer_id, stream_id, reattach_to_parent=True
+            )
+            session.subscriptions.pop(stream_id, None)
+
+    # -- control-plane delay model -----------------------------------------------
+
+    def _join_delay(self, viewer: Viewer, parents: Sequence[str]) -> float:
+        """Estimate the wall-clock duration of the join protocol (Figure 5).
+
+        Registration with the GSC, forwarding to the LSC, the view request,
+        resource allocation and topology formation at the LSC, overlay
+        information fan-out, and the stream-subscription exchange with the
+        parents.
+        """
+        dm = self.delay_model
+        viewer_id = viewer.viewer_id
+        delay = dm.rtt(viewer_id, GSC_NODE_ID)
+        delay += dm.propagation(GSC_NODE_ID, self.node_id)
+        delay += dm.propagation(self.node_id, viewer_id)
+        delay += dm.propagation(viewer_id, self.node_id)
+        delay += 2.0 * dm.control_processing_delay
+        fanout = dm.propagation(self.node_id, viewer_id)
+        for parent in parents:
+            fanout = max(fanout, dm.propagation(self.node_id, parent))
+        delay += fanout
+        subscription = 0.0
+        for parent in parents:
+            subscription = max(subscription, dm.rtt(viewer_id, parent))
+        delay += subscription + dm.control_processing_delay
+        return delay
+
+    def view_change_fast_path_delay(self, viewer: Viewer) -> float:
+        """Delay until a view change is served (directly from the CDN)."""
+        dm = self.delay_model
+        return (
+            dm.rtt(viewer.viewer_id, self.node_id)
+            + dm.control_processing_delay
+            + dm.propagation(CDN_NODE_ID, viewer.viewer_id)
+        )
+
+    # -- aggregate accounting -------------------------------------------------------
+
+    def connected_viewers(self) -> List[str]:
+        """All viewers currently connected through this LSC."""
+        return list(self.sessions)
+
+    def total_subscriptions(self) -> int:
+        """Total number of active stream subscriptions across all sessions."""
+        return sum(len(s.subscriptions) for s in self.sessions.values())
+
+    def cdn_served_subscriptions(self) -> int:
+        """Number of active subscriptions served directly by the CDN."""
+        return sum(
+            1
+            for s in self.sessions.values()
+            for sub in s.subscriptions.values()
+            if sub.via_cdn
+        )
+
+
+class GlobalSessionController:
+    """The GSC: LSC registry, viewer-to-LSC assignment and monitoring."""
+
+    def __init__(
+        self,
+        cdn: CDN,
+        delay_model: DelayModel,
+        layer_config: DelayLayerConfig,
+        *,
+        node_id: str = GSC_NODE_ID,
+    ) -> None:
+        self.cdn = cdn
+        self.delay_model = delay_model
+        self.layer_config = layer_config
+        self.node_id = node_id
+        self.monitor = GSCMonitor()
+        self._lscs: Dict[str, LocalSessionController] = {}
+        self._region_to_lsc: Dict[str, str] = {}
+
+    def add_lsc(self, lsc_id: str, *, region_name: str = "") -> LocalSessionController:
+        """Create and register an LSC for a region (idempotent per id)."""
+        if lsc_id not in self._lscs:
+            self._lscs[lsc_id] = LocalSessionController(
+                lsc_id=lsc_id,
+                cdn=self.cdn,
+                delay_model=self.delay_model,
+                layer_config=self.layer_config,
+                monitor=self.monitor,
+            )
+        if region_name:
+            self._region_to_lsc[region_name] = lsc_id
+        return self._lscs[lsc_id]
+
+    @property
+    def lscs(self) -> List[LocalSessionController]:
+        """All registered LSCs."""
+        return list(self._lscs.values())
+
+    def lsc(self, lsc_id: str) -> LocalSessionController:
+        """A specific LSC by id."""
+        return self._lscs[lsc_id]
+
+    def lsc_for_viewer(self, viewer: Viewer) -> LocalSessionController:
+        """Pick the LSC of the viewer's region (first LSC when unmapped)."""
+        if not self._lscs:
+            raise RuntimeError("no LSC registered with the GSC")
+        lsc_id = self._region_to_lsc.get(viewer.region_name)
+        if lsc_id is None:
+            return next(iter(self._lscs.values()))
+        return self._lscs[lsc_id]
+
+    def lsc_of_connected_viewer(self, viewer_id: str) -> Optional[LocalSessionController]:
+        """Find the LSC a connected viewer belongs to, if any."""
+        for controller in self._lscs.values():
+            if controller.session_of(viewer_id) is not None:
+                return controller
+        return None
+
+    def register_producer_streams(self, streams: Sequence[Stream]) -> None:
+        """Record producer stream metadata and ingest the streams into the CDN."""
+        for stream in streams:
+            self.monitor.register_stream(stream)
+            self.cdn.ingest_stream(stream.stream_id, stream.bandwidth_mbps)
+
+    def total_connected_viewers(self) -> int:
+        """Number of connected viewers across all LSCs."""
+        return sum(len(lsc.sessions) for lsc in self._lscs.values())

@@ -1,0 +1,135 @@
+"""Frame-level data plane: replaying 3D frames through a built overlay.
+
+The scaling experiments of the paper reason at the bandwidth/topology
+level, but the view-synchronization claim (Layer Property 2) is ultimately
+about frames: dependent frames of a view must be present in the gateway
+buffers simultaneously so the renderer can display a consistent scene.
+This module replays a (synthetic) TEEVE trace through the overlay built by
+:class:`~repro.core.telecast.TeleCastSystem` for a small viewer population
+and measures per-viewer inter-stream skew, which examples and integration
+tests compare against ``d_buff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.telecast import TeleCastSystem
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.stream import Frame, StreamId
+from repro.traces.teeve import TeeveSessionTrace
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One frame delivered to one viewer."""
+
+    viewer_id: str
+    stream_id: StreamId
+    frame_number: int
+    capture_time: float
+    delivery_time: float
+
+    @property
+    def end_to_end_delay(self) -> float:
+        """Capture-to-gateway delay of the frame."""
+        return self.delivery_time - self.capture_time
+
+
+@dataclass
+class PlaybackReport:
+    """Result of replaying a trace through the overlay."""
+
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+
+    def deliveries_for(self, viewer_id: str) -> List[DeliveryRecord]:
+        """All deliveries at one viewer."""
+        return [d for d in self.deliveries if d.viewer_id == viewer_id]
+
+    def skew_for(self, viewer_id: str) -> Optional[float]:
+        """Worst inter-stream delay skew observed at a viewer.
+
+        For every frame number present in more than one stream at the
+        viewer, the skew is the spread of the end-to-end delays of those
+        dependent frames (``|d_Si - d_Sk|`` in the paper, which Layer
+        Property 2 bounds by ``d_buff``); the method returns the maximum
+        spread, or ``None`` when the viewer received fewer than two streams.
+        """
+        per_stream: Dict[StreamId, Dict[int, float]] = {}
+        for record in self.deliveries_for(viewer_id):
+            per_stream.setdefault(record.stream_id, {})[record.frame_number] = (
+                record.end_to_end_delay
+            )
+        if len(per_stream) < 2:
+            return None
+        worst = 0.0
+        common_frames = set.intersection(
+            *(set(frames) for frames in per_stream.values())
+        )
+        for frame_number in common_frames:
+            delays = [frames[frame_number] for frames in per_stream.values()]
+            worst = max(worst, max(delays) - min(delays))
+        return worst
+
+    def mean_delay_for(self, viewer_id: str, stream_id: StreamId) -> Optional[float]:
+        """Mean end-to-end delay of one stream at one viewer."""
+        delays = [
+            d.end_to_end_delay
+            for d in self.deliveries_for(viewer_id)
+            if d.stream_id == stream_id
+        ]
+        if not delays:
+            return None
+        return sum(delays) / len(delays)
+
+
+class OverlayDataPlane:
+    """Replays frame traces over the overlay trees of a TeleCast session."""
+
+    def __init__(self, system: TeleCastSystem, trace: TeeveSessionTrace) -> None:
+        self.system = system
+        self.trace = trace
+
+    def replay(self, *, max_frames_per_stream: Optional[int] = None) -> PlaybackReport:
+        """Deliver frames of every subscribed stream to every connected viewer.
+
+        Each viewer receives a frame at
+        ``capture_time + effective_delay(viewer, stream)`` where the
+        effective delay comes from the viewer's subscription (overlay
+        position plus any deliberate layer push-down).  Frames are also
+        inserted into the viewer's gateway buffers so buffer/cache behaviour
+        can be inspected afterwards.
+        """
+        report = PlaybackReport()
+        for lsc in self.system.gsc.lscs:
+            for viewer_id, session in lsc.sessions.items():
+                for stream_id, sub in session.subscriptions.items():
+                    frames = self.trace.frames_for_stream(stream_id)
+                    if max_frames_per_stream is not None:
+                        frames = frames[:max_frames_per_stream]
+                    delay = sub.effective_delay or sub.end_to_end_delay
+                    for frame in frames:
+                        delivery_time = frame.capture_time + delay
+                        report.deliveries.append(
+                            DeliveryRecord(
+                                viewer_id=viewer_id,
+                                stream_id=stream_id,
+                                frame_number=frame.frame_number,
+                                capture_time=frame.capture_time,
+                                delivery_time=delivery_time,
+                            )
+                        )
+                        self._buffer_frame(session.viewer, frame, delivery_time)
+        report.deliveries.sort(key=lambda d: (d.delivery_time, d.viewer_id))
+        return report
+
+    @staticmethod
+    def _buffer_frame(viewer, frame: Frame, delivery_time: float) -> None:
+        buffer = viewer.buffer_for(frame.stream_id)
+        latest = buffer.latest_frame()
+        # Guard against out-of-order insertion if the same stream is replayed
+        # twice (idempotent replays in tests).
+        if latest is not None and latest.frame_number >= frame.frame_number:
+            return
+        buffer.insert(frame, delivery_time)

@@ -1,0 +1,166 @@
+"""The session overlay routing table (Table I of the paper).
+
+Every viewer gateway keeps a *session routing table* in its data plane.
+When a frame of a stream arrives from a parent, it is matched against the
+table's match field (stream id + parent id); for every forwarding address
+in the matching entry whose action is ``forward``, a frame is picked from
+the viewer's buffer/cache at the child's *subscription point* and relayed.
+
+The control plane (viewer SC) populates and updates the table during join,
+stream subscription and adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.stream import StreamId
+
+
+class ForwardingAction(str, Enum):
+    """Per-child action of a routing entry.
+
+    The paper always uses ``forward`` but reserves ``drop`` and future
+    transformations (re-encoding, rate control) in the action field.
+    """
+
+    FORWARD = "forward"
+    DROP = "drop"
+    ENCODE = "encoding"
+    RATE_CONTROL = "rate"
+
+
+@dataclass(frozen=True)
+class MatchField:
+    """Match field of a routing entry: (parent viewer, stream id)."""
+
+    parent_id: str
+    stream_id: StreamId
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.parent_id}:{self.stream_id}"
+
+
+@dataclass
+class ChildForwardingState:
+    """Forwarding state for one child of one stream."""
+
+    child_id: str
+    action: ForwardingAction = ForwardingAction.FORWARD
+    subscription_frame: Optional[int] = None
+
+
+@dataclass
+class RoutingEntry:
+    """One row of the session routing table.
+
+    A row corresponds to one received stream (identified by the match
+    field) and lists all children that stream is forwarded to, each with
+    its own action and subscription point.
+    """
+
+    match: MatchField
+    children: Dict[str, ChildForwardingState] = field(default_factory=dict)
+
+    def add_child(
+        self,
+        child_id: str,
+        *,
+        action: ForwardingAction = ForwardingAction.FORWARD,
+        subscription_frame: Optional[int] = None,
+    ) -> None:
+        """Add (or overwrite) a forwarding address."""
+        self.children[child_id] = ChildForwardingState(
+            child_id=child_id, action=action, subscription_frame=subscription_frame
+        )
+
+    def remove_child(self, child_id: str) -> bool:
+        """Remove a forwarding address; returns ``True`` if it existed."""
+        return self.children.pop(child_id, None) is not None
+
+    def set_subscription_point(self, child_id: str, frame_number: int) -> None:
+        """Update the subscription point of a child (stream subscription protocol)."""
+        if child_id not in self.children:
+            raise KeyError(f"{child_id} is not a child of {self.match}")
+        self.children[child_id].subscription_frame = frame_number
+
+    def forwarding_targets(self) -> List[ChildForwardingState]:
+        """Children whose action is ``forward`` (the data plane's fan-out set)."""
+        return [
+            state
+            for state in self.children.values()
+            if state.action is ForwardingAction.FORWARD
+        ]
+
+
+class SessionRoutingTable:
+    """The per-viewer session routing table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[MatchField, RoutingEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[RoutingEntry]:
+        """All routing entries."""
+        return list(self._entries.values())
+
+    def upsert(self, parent_id: str, stream_id: StreamId) -> RoutingEntry:
+        """Create (or fetch) the entry for a received stream."""
+        match = MatchField(parent_id=parent_id, stream_id=stream_id)
+        if match not in self._entries:
+            self._entries[match] = RoutingEntry(match=match)
+        return self._entries[match]
+
+    def lookup(self, parent_id: str, stream_id: StreamId) -> Optional[RoutingEntry]:
+        """Exact-match lookup used by the data plane on frame arrival."""
+        return self._entries.get(MatchField(parent_id=parent_id, stream_id=stream_id))
+
+    def lookup_stream(self, stream_id: StreamId) -> Optional[RoutingEntry]:
+        """Find the entry for a stream regardless of which parent delivers it."""
+        for match, entry in self._entries.items():
+            if match.stream_id == stream_id:
+                return entry
+        return None
+
+    def remove(self, parent_id: str, stream_id: StreamId) -> bool:
+        """Drop the entry of a stream (e.g. after a view change)."""
+        return (
+            self._entries.pop(MatchField(parent_id=parent_id, stream_id=stream_id), None)
+            is not None
+        )
+
+    def remove_stream(self, stream_id: StreamId) -> int:
+        """Drop every entry of a stream; returns the number removed."""
+        matches = [m for m in self._entries if m.stream_id == stream_id]
+        for match in matches:
+            del self._entries[match]
+        return len(matches)
+
+    def reparent(self, stream_id: StreamId, new_parent_id: str) -> RoutingEntry:
+        """Move a stream's entry under a new parent, keeping its children.
+
+        Used when a victim viewer is re-attached (its parent left or
+        changed view) or when a view change's background join completes and
+        the CDN-fed temporary entry is replaced by the overlay parent.
+        """
+        existing = self.lookup_stream(stream_id)
+        new_entry = self.upsert(new_parent_id, stream_id)
+        if existing is not None and existing.match.parent_id != new_parent_id:
+            new_entry.children.update(existing.children)
+            del self._entries[existing.match]
+        return new_entry
+
+    def streams(self) -> List[StreamId]:
+        """All streams the viewer currently has entries for."""
+        return [match.stream_id for match in self._entries]
+
+    def children_of(self, stream_id: StreamId) -> List[str]:
+        """All children the viewer forwards ``stream_id`` to."""
+        entry = self.lookup_stream(stream_id)
+        if entry is None:
+            return []
+        return list(entry.children)

@@ -1,0 +1,248 @@
+"""Stream subscription: solving the view synchronization problem (Section V-B3).
+
+After a viewer joins the overlay trees of its accepted streams, the delays
+of those streams can differ by more than the gateway buffer can absorb, so
+the renderer would drop the lagged streams -- wasting the bandwidth spent
+delivering the fresh ones.  The stream-subscription process bounds the
+spread:
+
+1. compute the minimum achievable layer index of every accepted stream
+   (Equation 1) from the parent's *effective* delay,
+2. find the slowest stream's layer ``L_max`` and push every other stream
+   down to at least ``L_max - kappa`` (a *layer push-down*), which by Layer
+   Property 2 bounds the inter-stream delay spread by ``d_buff``,
+3. drop any stream whose layer would exceed the maximum acceptable layer
+   (derived from ``d_max``) and release its bandwidth,
+4. translate push-downs into subscription points (frame numbers) sent to
+   the parents (Equation 2).
+
+When a viewer's effective delay for a forwarded stream grows, its children
+may need to re-run the process; :func:`propagate_to_children` captures that
+chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.layering import (
+    DelayLayerConfig,
+    compute_layer,
+    subscription_frame_number,
+)
+from repro.core.state import StreamSubscription, ViewerSession
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.stream import StreamId
+from repro.net.latency import DelayModel
+
+
+@dataclass(frozen=True)
+class StreamSubscriptionPlan:
+    """Planned subscription of one stream at one viewer."""
+
+    stream_id: StreamId
+    minimum_layer: int
+    target_layer: int
+    effective_delay: float
+    dropped: bool = False
+
+    @property
+    def pushed_down(self) -> bool:
+        """Whether the plan delays the stream beyond its minimum achievable layer."""
+        return self.target_layer > self.minimum_layer
+
+
+@dataclass(frozen=True)
+class SubscriptionPlan:
+    """The complete view-synchronization plan of one viewer."""
+
+    per_stream: Dict[StreamId, StreamSubscriptionPlan]
+
+    @property
+    def dropped_stream_ids(self) -> Tuple[StreamId, ...]:
+        """Streams that must be dropped because no acceptable layer exists."""
+        return tuple(
+            sid for sid, plan in self.per_stream.items() if plan.dropped
+        )
+
+    @property
+    def kept_stream_ids(self) -> Tuple[StreamId, ...]:
+        """Streams that remain subscribed after synchronization."""
+        return tuple(
+            sid for sid, plan in self.per_stream.items() if not plan.dropped
+        )
+
+    def layer_spread(self) -> int:
+        """Layer spread among kept streams (0 when fewer than two remain)."""
+        layers = [
+            plan.target_layer
+            for plan in self.per_stream.values()
+            if not plan.dropped
+        ]
+        if len(layers) < 2:
+            return 0
+        return max(layers) - min(layers)
+
+
+def minimum_layer_for(
+    config: DelayLayerConfig,
+    delay_model: DelayModel,
+    viewer_id: str,
+    parent_id: str,
+    parent_effective_delay: float,
+) -> int:
+    """Equation 1 applied to one parent/child pair.
+
+    CDN-fed viewers always achieve Layer-0 (the paper assumes
+    ``d_CDN + d_prop + delta = Delta``).
+    """
+    if parent_id == CDN_NODE_ID:
+        return 0
+    return compute_layer(
+        config,
+        parent_effective_delay,
+        delay_model.propagation(parent_id, viewer_id),
+        delay_model.processing_delay,
+    )
+
+
+def plan_view_synchronization(
+    config: DelayLayerConfig,
+    delay_model: DelayModel,
+    viewer_id: str,
+    subscriptions: Mapping[StreamId, StreamSubscription],
+    parent_effective_delays: Mapping[StreamId, float],
+) -> SubscriptionPlan:
+    """Compute the layer push-down plan for a viewer's accepted streams.
+
+    Parameters
+    ----------
+    subscriptions:
+        The viewer's current stream subscriptions (parents already decided
+        by the overlay construction).
+    parent_effective_delays:
+        For each stream, the *effective* end-to-end delay at the parent
+        (its own layer position), which is what the child's achievable
+        layer depends on.  CDN parents may be omitted.
+    """
+    minimum_layers: Dict[StreamId, int] = {}
+    for stream_id, sub in subscriptions.items():
+        parent_delay = parent_effective_delays.get(stream_id, config.delta)
+        minimum_layers[stream_id] = minimum_layer_for(
+            config, delay_model, viewer_id, sub.parent_id, parent_delay
+        )
+
+    # Drop streams that cannot reach any acceptable layer at all.
+    dropped = {
+        sid for sid, layer in minimum_layers.items()
+        if not config.is_acceptable_layer(layer)
+    }
+
+    kept_layers = {sid: layer for sid, layer in minimum_layers.items() if sid not in dropped}
+    plans: Dict[StreamId, StreamSubscriptionPlan] = {}
+
+    if kept_layers:
+        # "Layer_min" in the paper is the *largest* layer index among the
+        # accepted streams -- the slowest stream anchors the view.
+        anchor = max(kept_layers.values())
+        floor_layer = anchor - config.kappa
+        for stream_id, minimum in kept_layers.items():
+            target = max(minimum, floor_layer)
+            if not config.is_acceptable_layer(target):
+                dropped.add(stream_id)
+                continue
+            sub = subscriptions[stream_id]
+            if target > minimum:
+                # Pushed down: position at the top of the target layer so the
+                # push-down fades out along the child chain (R = tau * r).
+                effective = config.delay_for_layer(target, offset=config.tau)
+            else:
+                effective = max(sub.end_to_end_delay, config.delay_for_layer(target))
+            plans[stream_id] = StreamSubscriptionPlan(
+                stream_id=stream_id,
+                minimum_layer=minimum,
+                target_layer=target,
+                effective_delay=effective,
+                dropped=False,
+            )
+
+    for stream_id in dropped:
+        plans[stream_id] = StreamSubscriptionPlan(
+            stream_id=stream_id,
+            minimum_layer=minimum_layers[stream_id],
+            target_layer=minimum_layers[stream_id],
+            effective_delay=subscriptions[stream_id].end_to_end_delay,
+            dropped=True,
+        )
+    return SubscriptionPlan(per_stream=plans)
+
+
+def apply_plan(
+    config: DelayLayerConfig,
+    delay_model: DelayModel,
+    session: ViewerSession,
+    plan: SubscriptionPlan,
+    *,
+    latest_frame_numbers: Optional[Mapping[StreamId, int]] = None,
+) -> List[StreamId]:
+    """Apply a subscription plan to a viewer session.
+
+    Updates the layer and effective delay of every kept subscription,
+    computes subscription points for pushed-down streams, and removes the
+    dropped subscriptions (returning their ids so the caller can release
+    the associated overlay and bandwidth resources).
+    """
+    dropped: List[StreamId] = []
+    for stream_id, stream_plan in plan.per_stream.items():
+        if stream_id not in session.subscriptions:
+            continue
+        if stream_plan.dropped:
+            session.drop_subscription(stream_id)
+            dropped.append(stream_id)
+            continue
+        sub = session.subscriptions[stream_id]
+        sub.layer = stream_plan.target_layer
+        sub.effective_delay = stream_plan.effective_delay
+        if stream_plan.pushed_down and latest_frame_numbers is not None:
+            latest = latest_frame_numbers.get(stream_id)
+            if latest is not None:
+                sub.subscription_frame = subscription_frame_number(
+                    config,
+                    latest,
+                    sub.stream.frame_rate,
+                    stream_plan.target_layer,
+                    delay_model.propagation(sub.parent_id, session.viewer_id),
+                    delay_model.processing_delay,
+                )
+    return dropped
+
+
+def needs_resubscription(
+    config: DelayLayerConfig,
+    delay_model: DelayModel,
+    child_session: ViewerSession,
+    stream_id: StreamId,
+    parent_effective_delay: float,
+) -> bool:
+    """Whether a parent's new effective delay forces a child to re-subscribe.
+
+    Mirrors the paper's rule: the child recomputes the achievable layer
+    ``x`` for the stream; only if ``x`` exceeds the child's current maximum
+    layer does a new subscription process start, because otherwise the
+    parent can still support the child at its current layer.
+    """
+    if stream_id not in child_session.subscriptions:
+        return False
+    sub = child_session.subscriptions[stream_id]
+    achievable = minimum_layer_for(
+        config,
+        delay_model,
+        child_session.viewer_id,
+        sub.parent_id,
+        parent_effective_delay,
+    )
+    current_max = child_session.max_layer
+    if current_max is None:
+        return False
+    return achievable > current_max

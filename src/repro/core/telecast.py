@@ -1,0 +1,264 @@
+"""The 4D TeleCast system facade.
+
+:class:`TeleCastSystem` wires together every component of the framework --
+producers, the CDN, the latency substrate, the GSC/LSC control plane, the
+overlay construction, the view-synchronization machinery and the
+adaptation manager -- behind a small API:
+
+>>> system = TeleCastSystem(producers, cdn, delay_model, layer_config)
+>>> views = build_views(producers, num_views=4, streams_per_site=3)
+>>> result = system.join_viewer(viewer, views[0])
+>>> system.snapshot().acceptance_ratio
+1.0
+
+Experiments and examples drive this facade either directly (event by
+event) or through :meth:`TeleCastSystem.run_workload` which replays a
+generated :class:`~repro.traces.workload.ViewerWorkload` schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.adaptation import AdaptationManager, DepartureResult, ViewChangeResult
+from repro.core.controllers import (
+    GSC_NODE_ID,
+    GlobalSessionController,
+    JoinResult,
+    LocalSessionController,
+)
+from repro.core.layering import DelayLayerConfig
+from repro.metrics.collectors import SessionMetrics, SystemSnapshot
+from repro.model.cdn import CDN
+from repro.model.producer import ProducerSite
+from repro.model.view import GlobalView, orientation_from_angle
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel
+from repro.sim.engine import Simulator
+from repro.traces.workload import ViewerEvent
+
+
+def build_views(
+    producers: Sequence[ProducerSite],
+    *,
+    num_views: int = 1,
+    streams_per_site: int = 3,
+    cutoff_threshold: float = 0.0,
+) -> List[GlobalView]:
+    """Construct ``num_views`` candidate global views spread around the scene.
+
+    View orientations are evenly spaced angles; each produces one local
+    view per producer site with ``streams_per_site`` streams, matching the
+    paper's evaluation setup (each view includes 3 streams from each of the
+    2 producer sites).
+    """
+    if num_views <= 0:
+        raise ValueError("num_views must be > 0")
+    if not producers:
+        raise ValueError("at least one producer site is required")
+    views: List[GlobalView] = []
+    for index in range(num_views):
+        angle = 2.0 * math.pi * index / num_views
+        orientation = orientation_from_angle(angle)
+        local_views = tuple(
+            site.local_view(
+                orientation,
+                cutoff_threshold=cutoff_threshold,
+                max_streams=streams_per_site,
+            )
+            for site in producers
+        )
+        views.append(GlobalView(view_id=f"view-{index}", local_views=local_views))
+    return views
+
+
+class TeleCastSystem:
+    """End-to-end 4D TeleCast session on top of the simulation substrates."""
+
+    def __init__(
+        self,
+        producers: Sequence[ProducerSite],
+        cdn: CDN,
+        delay_model: DelayModel,
+        layer_config: Optional[DelayLayerConfig] = None,
+        *,
+        num_lscs: int = 1,
+        simulator: Optional[Simulator] = None,
+    ) -> None:
+        if not producers:
+            raise ValueError("at least one producer site is required")
+        if num_lscs <= 0:
+            raise ValueError("num_lscs must be > 0")
+        self.producers = list(producers)
+        self.cdn = cdn
+        self.delay_model = delay_model
+        self.layer_config = layer_config or DelayLayerConfig(delta=cdn.delta)
+        self.simulator = simulator or Simulator()
+        self.metrics = SessionMetrics()
+
+        self.gsc = GlobalSessionController(cdn, delay_model, self.layer_config)
+        all_streams = [stream for site in self.producers for stream in site.streams]
+        self.gsc.register_producer_streams(all_streams)
+
+        self._adaptation: Dict[str, AdaptationManager] = {}
+        region_names = self._region_names(num_lscs)
+        for index in range(num_lscs):
+            lsc = self.gsc.add_lsc(f"LSC-{index}", region_name=region_names[index])
+            self._adaptation[lsc.lsc_id] = AdaptationManager(lsc)
+
+        #: Streams requested by every viewer that ever attempted to join,
+        #: used to report per-viewer accepted stream counts including
+        #: rejected viewers (Figure 14(b)).
+        self._requested: Dict[str, int] = {}
+
+    @staticmethod
+    def _region_names(num_lscs: int) -> List[str]:
+        if num_lscs == 1:
+            return [""]
+        return [f"region-{i}" for i in range(num_lscs)]
+
+    # -- viewer lifecycle --------------------------------------------------------
+
+    def join_viewer(
+        self, viewer: Viewer, view: GlobalView, now: Optional[float] = None
+    ) -> JoinResult:
+        """Join a viewer to the session and record its outcome in the metrics."""
+        time = self.simulator.now if now is None else now
+        lsc = self.gsc.lsc_for_viewer(viewer)
+        result = lsc.join(viewer, view, time)
+        self._requested[viewer.viewer_id] = result.num_requested
+        self.metrics.record_join(
+            requested=result.num_requested,
+            accepted=result.num_accepted,
+            join_delay=result.join_delay,
+            request_accepted=result.accepted,
+            dropped_by_sync=len(result.dropped_by_sync),
+        )
+        return result
+
+    def change_view(
+        self, viewer_id: str, new_view: GlobalView, now: Optional[float] = None
+    ) -> ViewChangeResult:
+        """Switch a connected viewer to a new view."""
+        time = self.simulator.now if now is None else now
+        lsc = self.gsc.lsc_of_connected_viewer(viewer_id)
+        if lsc is None:
+            raise KeyError(f"viewer {viewer_id} is not connected")
+        result = self._adaptation[lsc.lsc_id].handle_view_change(viewer_id, new_view, time)
+        self._requested[viewer_id] = result.join_result.num_requested
+        self.metrics.record_view_change(
+            requested=result.join_result.num_requested,
+            accepted=result.join_result.num_accepted,
+            change_delay=result.fast_path_delay,
+            request_accepted=result.accepted,
+        )
+        self.metrics.record_victims(
+            victims=len(result.victims), recovered=result.recovered_victims
+        )
+        return result
+
+    def depart_viewer(self, viewer_id: str, now: Optional[float] = None) -> DepartureResult:
+        """Disconnect a viewer, recovering the victims it leaves behind."""
+        time = self.simulator.now if now is None else now
+        lsc = self.gsc.lsc_of_connected_viewer(viewer_id)
+        if lsc is None:
+            return DepartureResult(viewer_id=viewer_id, departed=False)
+        result = self._adaptation[lsc.lsc_id].handle_departure(viewer_id, time)
+        self.metrics.record_victims(
+            victims=len(result.victims), recovered=result.recovered_victims
+        )
+        self._requested.pop(viewer_id, None)
+        return result
+
+    def refresh_layers(self, now: Optional[float] = None) -> None:
+        """Run the periodic delay-layer adaptation on every LSC."""
+        time = self.simulator.now if now is None else now
+        for manager in self._adaptation.values():
+            manager.refresh_layers(time)
+
+    # -- measurement ------------------------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        """Capture the instantaneous state of the dissemination system."""
+        active = 0
+        via_cdn = 0
+        max_layers: Dict[str, int] = {}
+        accepted_counts: Dict[str, int] = {
+            viewer_id: 0 for viewer_id in self._requested
+        }
+        connected = 0
+        for lsc in self.gsc.lscs:
+            for viewer_id, session in lsc.sessions.items():
+                connected += 1
+                active += session.num_accepted_streams
+                via_cdn += sum(1 for sub in session.subscriptions.values() if sub.via_cdn)
+                accepted_counts[viewer_id] = session.num_accepted_streams
+                layer = session.max_layer
+                if layer is not None:
+                    max_layers[viewer_id] = layer
+        return SystemSnapshot(
+            num_viewers=connected,
+            num_requests=len(self._requested),
+            active_subscriptions=active,
+            cdn_subscriptions=via_cdn,
+            cdn_outbound_mbps=self.cdn.used_outbound_mbps,
+            acceptance_ratio=self.metrics.acceptance_ratio,
+            max_layers=max_layers,
+            accepted_stream_counts=accepted_counts,
+        )
+
+    def take_snapshot(self) -> SystemSnapshot:
+        """Capture a snapshot and append it to the metrics history."""
+        snapshot = self.snapshot()
+        self.metrics.add_snapshot(snapshot)
+        return snapshot
+
+    # -- workload replay ----------------------------------------------------------------
+
+    def run_workload(
+        self,
+        viewers: Sequence[Viewer],
+        events: Sequence[ViewerEvent],
+        views: Sequence[GlobalView],
+        *,
+        snapshot_every: Optional[int] = None,
+    ) -> SessionMetrics:
+        """Replay a workload schedule through the system.
+
+        Events are applied in time order on the simulator clock.  When
+        ``snapshot_every`` is given, a system snapshot is recorded after
+        every that-many join events (and once at the end), which is how the
+        scaling figures collect one curve from a single run.
+        """
+        by_id = {viewer.viewer_id: viewer for viewer in viewers}
+        joins_seen = 0
+        for event in sorted(events, key=lambda e: (e.time, e.viewer_id)):
+            self.simulator.run(until=event.time)
+            if event.kind == "join":
+                viewer = by_id[event.viewer_id]
+                view = views[event.view_index % len(views)]
+                self.join_viewer(viewer, view, event.time)
+                joins_seen += 1
+                if snapshot_every and joins_seen % snapshot_every == 0:
+                    self.take_snapshot()
+            elif event.kind == "view_change":
+                if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
+                    view = views[event.view_index % len(views)]
+                    self.change_view(event.viewer_id, view, event.time)
+            elif event.kind == "depart":
+                self.depart_viewer(event.viewer_id, event.time)
+        self.take_snapshot()
+        return self.metrics
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def lsc_of(self, viewer_id: str) -> Optional[LocalSessionController]:
+        """The LSC a connected viewer belongs to (``None`` when not connected)."""
+        return self.gsc.lsc_of_connected_viewer(viewer_id)
+
+    @property
+    def connected_viewer_count(self) -> int:
+        """Number of currently connected viewers."""
+        return self.gsc.total_connected_viewers()

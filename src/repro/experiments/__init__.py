@@ -1,0 +1,37 @@
+"""Experiment drivers reproducing the paper's evaluation (Section VII).
+
+:mod:`repro.experiments.config` holds the experimental setup of the paper;
+:mod:`repro.experiments.runner` builds and runs one simulated session;
+:mod:`repro.experiments.figures` regenerates the data series of every
+figure of the evaluation; :mod:`repro.experiments.reporting` renders those
+series as the text tables the benchmark harness prints.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.runner import ScenarioResult, run_random_scenario, run_telecast_scenario
+from repro.experiments.figures import (
+    figure_13a_cdn_bandwidth,
+    figure_13b_cdn_fraction,
+    figure_13c_acceptance_ratio,
+    figure_14a_layer_distribution,
+    figure_14b_accepted_streams,
+    figure_14c_overhead,
+    figure_15a_vs_random_bandwidth,
+    figure_15b_vs_random_scale,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "ScenarioResult",
+    "run_random_scenario",
+    "run_telecast_scenario",
+    "figure_13a_cdn_bandwidth",
+    "figure_13b_cdn_fraction",
+    "figure_13c_acceptance_ratio",
+    "figure_14a_layer_distribution",
+    "figure_14b_accepted_streams",
+    "figure_14c_overhead",
+    "figure_15a_vs_random_bandwidth",
+    "figure_15b_vs_random_scale",
+]

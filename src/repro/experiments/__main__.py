@@ -1,0 +1,125 @@
+"""Command-line entry point: regenerate any figure of the evaluation.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments 14a
+    python -m repro.experiments 13c --viewers 400 --step 100
+    python -m repro.experiments 15b --viewers 600
+
+The output is the same text table the benchmark harness prints, so figures
+can be regenerated (e.g. at a different scale) without going through
+pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
+from repro.experiments.figures import (
+    figure_13a_cdn_bandwidth,
+    figure_13b_cdn_fraction,
+    figure_13c_acceptance_ratio,
+    figure_14a_layer_distribution,
+    figure_14b_accepted_streams,
+    figure_14c_overhead,
+    figure_15a_vs_random_bandwidth,
+    figure_15b_vs_random_scale,
+)
+from repro.experiments.reporting import format_distribution_figure, format_scaling_figure
+
+#: Figure id -> (description, renderer) registry.
+_FIGURES: Dict[str, str] = {
+    "13a": "CDN bandwidth required for full acceptance (uncapped CDN)",
+    "13b": "fraction of subscriptions served by the CDN",
+    "13c": "acceptance ratio with a capped CDN",
+    "14a": "delay layer distribution at the viewers",
+    "14b": "accepted streams per viewer",
+    "14c": "join and view-change overhead",
+    "15a": "TeleCast vs Random over outbound bandwidth",
+    "15b": "TeleCast vs Random over audience size",
+}
+
+
+def _scaled_config(args: argparse.Namespace) -> ExperimentConfig:
+    scale = args.viewers / PAPER_CONFIG.num_viewers
+    return PAPER_CONFIG.with_(
+        num_viewers=args.viewers,
+        cdn_capacity_mbps=PAPER_CONFIG.cdn_capacity_mbps * scale,
+    )
+
+
+def render_figure(figure_id: str, config: ExperimentConfig, step: int) -> str:
+    """Run one figure driver and return its text table."""
+    if figure_id == "13a":
+        return format_scaling_figure(figure_13a_cdn_bandwidth(config, step=step))
+    if figure_id == "13b":
+        return format_scaling_figure(figure_13b_cdn_fraction(config, step=step))
+    if figure_id == "13c":
+        return format_scaling_figure(figure_13c_acceptance_ratio(config, step=step))
+    if figure_id == "14a":
+        return format_distribution_figure(
+            figure_14a_layer_distribution(config), thresholds=(0.0, 4.0)
+        )
+    if figure_id == "14b":
+        return format_distribution_figure(
+            figure_14b_accepted_streams(config), thresholds=(0.0, 5.0)
+        )
+    if figure_id == "14c":
+        return format_distribution_figure(
+            figure_14c_overhead(config), thresholds=(0.5, 1.5)
+        )
+    if figure_id == "15a":
+        return format_scaling_figure(
+            figure_15a_vs_random_bandwidth(config), x_label="obw_mbps"
+        )
+    if figure_id == "15b":
+        return format_scaling_figure(figure_15b_vs_random_scale(config, step=step))
+    raise KeyError(figure_id)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure of the 4D TeleCast evaluation.",
+    )
+    parser.add_argument("figure", nargs="?", help="figure id, e.g. 13a, 14c, 15b")
+    parser.add_argument(
+        "--viewers",
+        type=int,
+        default=PAPER_CONFIG.num_viewers,
+        help="population size (the CDN cap is scaled proportionally)",
+    )
+    parser.add_argument(
+        "--step", type=int, default=100, help="snapshot interval for scaling figures"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the available figures and exit"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.figure:
+        for figure_id, description in sorted(_FIGURES.items()):
+            print(f"  {figure_id}: {description}")
+        return 0
+    figure_id = args.figure.lower().lstrip("fig").lstrip(".")
+    if figure_id not in _FIGURES:
+        parser.error(f"unknown figure {args.figure!r}; use --list to see the options")
+    if args.viewers <= 0:
+        parser.error("--viewers must be > 0")
+    config = _scaled_config(args)
+    print(render_figure(figure_id, config, max(10, args.step)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Textual reports of the regenerated figures.
+
+The benchmark harness prints these tables so a run of
+``pytest benchmarks/ --benchmark-only`` reproduces, in text form, every
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures import DistributionFigure, FigureSeries
+from repro.metrics.stats import fraction_at_most, percentile
+
+
+def format_scaling_figure(figure: FigureSeries, *, x_label: str = "viewers") -> str:
+    """Render a multi-curve scaling figure as an aligned text table."""
+    if not figure.series:
+        return f"Figure {figure.figure_id}: (no data)"
+    x_values = figure.series[0].num_viewers
+    header = [x_label] + [series.label for series in figure.series]
+    rows: List[List[str]] = [header]
+    for index, x in enumerate(x_values):
+        row = [str(x)]
+        for series in figure.series:
+            value = series.values[index] if index < len(series.values) else float("nan")
+            row.append(f"{value:.3f}" if abs(value) < 100 else f"{value:.0f}")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [f"Figure {figure.figure_id}: {figure.description}"]
+    for row in rows:
+        lines.append("  " + "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_distribution_figure(
+    figure: DistributionFigure, *, thresholds: Sequence[float] = ()
+) -> str:
+    """Render a CDF figure as per-label summaries plus threshold fractions."""
+    lines = [f"Figure {figure.figure_id}: {figure.description}"]
+    for label, samples in figure.samples.items():
+        if not samples:
+            lines.append(f"  {label}: (no samples)")
+            continue
+        lines.append(
+            "  {label}: n={n} min={mn:.3f} p50={p50:.3f} p95={p95:.3f} max={mx:.3f}".format(
+                label=label,
+                n=len(samples),
+                mn=min(samples),
+                p50=percentile(samples, 50.0),
+                p95=percentile(samples, 95.0),
+                mx=max(samples),
+            )
+        )
+        for threshold in thresholds:
+            lines.append(
+                f"    fraction <= {threshold:g}: {fraction_at_most(samples, threshold):.3f}"
+            )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: Iterable[Sequence[str]]) -> str:
+    """Render a three-column 'quantity | paper | measured' table."""
+    table = [["quantity", "paper", "measured"]] + [list(row) for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(3)]
+    lines = []
+    for row in table:
+        lines.append("  " + "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Build and run one simulated dissemination scenario.
+
+A *scenario* is one viewer population with one bandwidth distribution run
+against either 4D TeleCast or the Random baseline.  The runner constructs
+every substrate (producers, CDN, synthetic PlanetLab latencies, workload),
+replays the join/view-change/departure schedule, and returns the collected
+metrics plus periodic snapshots so the scaling figures can read one curve
+off a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.random_routing import RandomDisseminationSystem
+from repro.core.telecast import TeleCastSystem, build_views
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.collectors import SessionMetrics, SystemSnapshot
+from repro.model.cdn import CDN
+from repro.model.producer import make_default_producers
+from repro.model.view import GlobalView
+from repro.net.latency import DelayModel
+from repro.net.planetlab import generate_planetlab_matrix
+from repro.sim.rng import SeededRandom
+from repro.traces.workload import ViewerWorkload, WorkloadConfig
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs from one scenario run."""
+
+    config: ExperimentConfig
+    metrics: SessionMetrics
+    final_snapshot: SystemSnapshot
+    cdn_outbound_mbps: float
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Cumulative stream-level acceptance ratio of the run."""
+        return self.metrics.acceptance_ratio
+
+    def snapshots(self) -> List[SystemSnapshot]:
+        """All periodic snapshots recorded during the run."""
+        return list(self.metrics.snapshots)
+
+
+def _build_workload(config: ExperimentConfig):
+    workload_config = WorkloadConfig(
+        num_viewers=config.num_viewers,
+        outbound=config.outbound,
+        inbound_mbps=config.inbound_mbps,
+        num_views=config.num_views,
+        view_popularity_alpha=config.view_popularity_alpha,
+        arrival_rate_per_second=config.arrival_rate_per_second,
+        view_change_probability=config.view_change_probability,
+        departure_probability=config.departure_probability,
+        session_duration=config.session_duration,
+        buffer_duration=config.buffer_duration,
+        cache_duration=config.cache_duration,
+    )
+    workload = ViewerWorkload(workload_config, rng=SeededRandom(config.seed))
+    viewers = workload.viewers()
+    events = workload.events(viewers)
+    return viewers, events
+
+
+def _build_substrates(config: ExperimentConfig, viewers):
+    producers = make_default_producers(
+        config.num_sites,
+        config.cameras_per_site,
+        stream_bandwidth_mbps=config.stream_bandwidth_mbps,
+        frame_rate=config.frame_rate,
+    )
+    # Controllers and the CDN are network endpoints too; including them in
+    # the synthetic trace gives per-viewer control-plane delays (Figure 14(c))
+    # a realistic spread instead of a constant default.
+    control_nodes = ["GSC", "LSC-0", "CDN"]
+    matrix = generate_planetlab_matrix(
+        [viewer.viewer_id for viewer in viewers] + control_nodes,
+        rng=SeededRandom(config.latency_seed),
+    )
+    delay_model = DelayModel(
+        matrix,
+        processing_delay=config.processing_delay,
+        cdn_delta=config.cdn_delta,
+        control_processing_delay=config.control_processing_delay,
+    )
+    cdn = CDN(config.cdn_capacity_mbps, delta=config.cdn_delta)
+    views = build_views(
+        producers,
+        num_views=config.num_views,
+        streams_per_site=config.streams_per_site_in_view,
+    )
+    return producers, delay_model, cdn, views
+
+
+def run_telecast_scenario(
+    config: ExperimentConfig, *, snapshot_every: Optional[int] = 100
+) -> ScenarioResult:
+    """Run one scenario through 4D TeleCast."""
+    viewers, events = _build_workload(config)
+    producers, delay_model, cdn, views = _build_substrates(config, viewers)
+    system = TeleCastSystem(producers, cdn, delay_model, config.layer_config())
+    metrics = system.run_workload(viewers, events, views, snapshot_every=snapshot_every)
+    return ScenarioResult(
+        config=config,
+        metrics=metrics,
+        final_snapshot=system.snapshot(),
+        cdn_outbound_mbps=cdn.used_outbound_mbps,
+    )
+
+
+def run_random_scenario(
+    config: ExperimentConfig, *, snapshot_every: Optional[int] = 100
+) -> ScenarioResult:
+    """Run the same scenario through the Random dissemination baseline."""
+    viewers, events = _build_workload(config)
+    producers, delay_model, cdn, views = _build_substrates(config, viewers)
+    system = RandomDisseminationSystem(
+        producers,
+        cdn,
+        delay_model,
+        config.layer_config(),
+        rng=SeededRandom(config.baseline_seed),
+        probe_count=config.random_probe_count,
+        strict_admission=config.random_strict_admission,
+    )
+    by_id = {viewer.viewer_id: viewer for viewer in viewers}
+    joins_seen = 0
+    for event in events:
+        if event.kind != "join":
+            # The baseline models only joins; view change / departure
+            # dynamics are a 4D TeleCast capability.
+            continue
+        view = views[event.view_index % len(views)]
+        system.join_viewer(by_id[event.viewer_id], view, event.time)
+        joins_seen += 1
+        if snapshot_every and joins_seen % snapshot_every == 0:
+            system.take_snapshot()
+    system.take_snapshot()
+    return ScenarioResult(
+        config=config,
+        metrics=system.metrics,
+        final_snapshot=system.snapshot(),
+        cdn_outbound_mbps=cdn.used_outbound_mbps,
+    )

@@ -1,0 +1,13 @@
+"""Metric collection and statistics helpers for 4D TeleCast experiments."""
+
+from repro.metrics.collectors import SessionMetrics, SystemSnapshot
+from repro.metrics.stats import cdf_points, describe, fraction_at_most, percentile
+
+__all__ = [
+    "SessionMetrics",
+    "SystemSnapshot",
+    "cdf_points",
+    "describe",
+    "fraction_at_most",
+    "percentile",
+]

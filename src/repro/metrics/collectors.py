@@ -1,0 +1,154 @@
+"""Metric collectors for a running 4D TeleCast (or baseline) session.
+
+Two kinds of measurements feed the paper's figures:
+
+* **cumulative request accounting** -- every join or view-change request
+  contributes its requested and accepted stream counts to the acceptance
+  ratio, and its control-plane latency to the overhead CDFs,
+* **instantaneous snapshots** -- CDN bandwidth usage, the fraction of
+  active subscriptions served by the CDN, the per-viewer delay layers and
+  the per-viewer accepted stream counts, all read off the live session
+  state at a chosen population size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Instantaneous state of the dissemination system.
+
+    Attributes
+    ----------
+    num_viewers:
+        Connected viewers at snapshot time (accepted requests only).
+    num_requests:
+        All viewers that attempted to join so far (accepted or not).
+    active_subscriptions:
+        Stream subscriptions currently being delivered.
+    cdn_subscriptions:
+        Subscriptions currently served directly by the CDN.
+    cdn_outbound_mbps:
+        Outbound CDN bandwidth currently reserved.
+    acceptance_ratio:
+        Cumulative accepted / requested streams over all requests so far.
+    max_layers:
+        Per connected viewer, the maximum delay layer among its accepted
+        streams (the quantity of Figure 14(a)).
+    accepted_stream_counts:
+        Per requesting viewer, the number of streams it currently receives
+        (0 for rejected viewers -- the quantity of Figure 14(b)).
+    """
+
+    num_viewers: int
+    num_requests: int
+    active_subscriptions: int
+    cdn_subscriptions: int
+    cdn_outbound_mbps: float
+    acceptance_ratio: float
+    max_layers: Dict[str, int] = field(default_factory=dict)
+    accepted_stream_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cdn_fraction(self) -> float:
+        """Fraction of active subscriptions served directly by the CDN."""
+        if self.active_subscriptions == 0:
+            return 0.0
+        return self.cdn_subscriptions / self.active_subscriptions
+
+    @property
+    def p2p_subscriptions(self) -> int:
+        """Subscriptions served by other viewers."""
+        return self.active_subscriptions - self.cdn_subscriptions
+
+
+@dataclass
+class SessionMetrics:
+    """Cumulative per-session counters and raw latency samples."""
+
+    total_requested_streams: int = 0
+    total_accepted_streams: int = 0
+    accepted_requests: int = 0
+    rejected_requests: int = 0
+    sync_dropped_streams: int = 0
+    victim_events: int = 0
+    recovered_victims: int = 0
+    lost_victim_subscriptions: int = 0
+    join_delays: List[float] = field(default_factory=list)
+    view_change_delays: List[float] = field(default_factory=list)
+    snapshots: List[SystemSnapshot] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_join(
+        self,
+        *,
+        requested: int,
+        accepted: int,
+        join_delay: float,
+        request_accepted: bool,
+        dropped_by_sync: int = 0,
+    ) -> None:
+        """Record the outcome of one join request."""
+        self.total_requested_streams += requested
+        self.total_accepted_streams += accepted
+        if request_accepted:
+            self.accepted_requests += 1
+        else:
+            self.rejected_requests += 1
+        self.sync_dropped_streams += dropped_by_sync
+        self.join_delays.append(join_delay)
+
+    def record_view_change(
+        self,
+        *,
+        requested: int,
+        accepted: int,
+        change_delay: float,
+        request_accepted: bool,
+    ) -> None:
+        """Record the outcome of one view-change request."""
+        self.total_requested_streams += requested
+        self.total_accepted_streams += accepted
+        if request_accepted:
+            self.accepted_requests += 1
+        else:
+            self.rejected_requests += 1
+        self.view_change_delays.append(change_delay)
+
+    def record_victims(self, *, victims: int, recovered: int) -> None:
+        """Record a victim-recovery episode (departure or view change)."""
+        self.victim_events += victims
+        self.recovered_victims += recovered
+        self.lost_victim_subscriptions += max(0, victims - recovered)
+
+    def add_snapshot(self, snapshot: SystemSnapshot) -> None:
+        """Store an instantaneous system snapshot (e.g. every 100 viewers)."""
+        self.snapshots.append(snapshot)
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Cumulative acceptance ratio ``rho`` = accepted / requested streams."""
+        if self.total_requested_streams == 0:
+            return 1.0
+        return self.total_accepted_streams / self.total_requested_streams
+
+    @property
+    def request_acceptance_ratio(self) -> float:
+        """Fraction of whole viewer requests that were accepted."""
+        total = self.accepted_requests + self.rejected_requests
+        if total == 0:
+            return 1.0
+        return self.accepted_requests / total
+
+    def snapshot_at(self, num_viewers: int) -> Optional[SystemSnapshot]:
+        """The first stored snapshot with at least ``num_viewers`` requests."""
+        for snapshot in self.snapshots:
+            if snapshot.num_requests >= num_viewers:
+                return snapshot
+        return None

@@ -1,0 +1,100 @@
+"""Small statistics helpers (CDFs, percentiles, summaries).
+
+The evaluation figures of the paper are either line series (acceptance
+ratio vs. a swept parameter) or CDFs (layers, accepted streams, join /
+view-change delay); these helpers turn raw sample lists into those shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Return the empirical CDF of ``samples`` as (value, fraction <= value) points.
+
+    The returned points are sorted by value; duplicate values are collapsed
+    to a single point carrying the highest cumulative fraction.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        fraction = index / n
+        if points and math.isclose(points[-1][0], value, rel_tol=1e-12, abs_tol=1e-12):
+            points[-1] = (value, fraction)
+        else:
+            points.append((value, fraction))
+    return points
+
+
+def fraction_at_most(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples <= ``threshold`` (0.0 for an empty sample set)."""
+    if not samples:
+        return 0.0
+    return sum(1 for s in samples if s <= threshold) / len(samples)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) using linear interpolation."""
+    if not samples:
+        raise ValueError("cannot compute a percentile of an empty sample set")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+
+def describe(samples: Sequence[float]) -> SampleSummary:
+    """Summarise a non-empty sample set."""
+    if not samples:
+        raise ValueError("cannot describe an empty sample set")
+    return SampleSummary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        p50=percentile(samples, 50.0),
+        p95=percentile(samples, 95.0),
+    )
+
+
+def histogram(samples: Sequence[float], bin_edges: Sequence[float]) -> Dict[float, int]:
+    """Count samples into right-open bins keyed by their left edge.
+
+    Samples below the first edge or at/above the last edge are ignored.
+    """
+    if len(bin_edges) < 2:
+        raise ValueError("at least two bin edges are required")
+    edges = sorted(bin_edges)
+    counts: Dict[float, int] = {edge: 0 for edge in edges[:-1]}
+    for sample in samples:
+        for left, right in zip(edges[:-1], edges[1:]):
+            if left <= sample < right:
+                counts[left] += 1
+                break
+    return counts

@@ -1,0 +1,206 @@
+"""The content-distribution network (CDN) model.
+
+4D TeleCast treats the CDN as a black box (Section III-A): producers upload
+3D frames into the distribution storage, core servers replicate them to
+edge servers, and viewers can pull any stream directly from an edge server.
+The only properties the overlay-construction logic relies on are
+
+* a bounded aggregate outbound capacity ``C_cdn_obw`` available to the
+  3DTI session (6000 Mbps in the capped experiments),
+* a constant capture-to-first-viewer delay ``Delta`` (60 s in the
+  evaluation), and
+* the ability to serve *any* delay layer to its direct children (its
+  distribution storage is large).
+
+This module models exactly that, plus a set of edge servers so the
+experiments can report per-edge load if desired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.stream import StreamId
+from repro.util.validation import require_non_negative, require_positive
+
+#: Node identifier used for the CDN in overlay trees and latency lookups.
+CDN_NODE_ID = "CDN"
+
+
+@dataclass
+class EdgeServer:
+    """A single CDN edge server with its own outbound capacity."""
+
+    server_id: str
+    outbound_capacity_mbps: float
+    used_outbound_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.outbound_capacity_mbps, "outbound_capacity_mbps")
+        require_non_negative(self.used_outbound_mbps, "used_outbound_mbps")
+
+    @property
+    def available_outbound_mbps(self) -> float:
+        """Remaining outbound capacity on this edge server."""
+        return max(0.0, self.outbound_capacity_mbps - self.used_outbound_mbps)
+
+    def allocate(self, bandwidth_mbps: float) -> bool:
+        """Reserve ``bandwidth_mbps``; returns ``False`` if it does not fit."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        if bandwidth_mbps > self.available_outbound_mbps + 1e-9:
+            return False
+        self.used_outbound_mbps += bandwidth_mbps
+        return True
+
+    def release(self, bandwidth_mbps: float) -> None:
+        """Release previously reserved bandwidth."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        self.used_outbound_mbps = max(0.0, self.used_outbound_mbps - bandwidth_mbps)
+
+
+class CDN:
+    """The session-facing CDN: bounded outbound capacity + constant delay.
+
+    Parameters
+    ----------
+    outbound_capacity_mbps:
+        Total outbound capacity available to the session.  ``math.inf`` is
+        allowed and used by the uncapped experiment of Figure 13(a).
+    delta:
+        ``Delta``: capture-to-viewer delay of CDN-served streams (seconds).
+    num_edge_servers:
+        Number of edge servers the capacity is split across.  With an
+        infinite capacity a single virtual edge server is used.
+    inbound_capacity_mbps:
+        ``C_cdn_ibw``; the paper assumes this bound is always met because
+        only the few producer sites upload, so it is tracked but never the
+        binding constraint.
+    """
+
+    def __init__(
+        self,
+        outbound_capacity_mbps: float = math.inf,
+        *,
+        delta: float = 60.0,
+        num_edge_servers: int = 4,
+        inbound_capacity_mbps: float = math.inf,
+    ) -> None:
+        if outbound_capacity_mbps <= 0:
+            raise ValueError("outbound_capacity_mbps must be > 0")
+        require_non_negative(delta, "delta")
+        if num_edge_servers <= 0:
+            raise ValueError("num_edge_servers must be > 0")
+        self.outbound_capacity_mbps = outbound_capacity_mbps
+        self.inbound_capacity_mbps = inbound_capacity_mbps
+        self.delta = delta
+        self.node_id = CDN_NODE_ID
+        self._used_outbound = 0.0
+        self._used_inbound = 0.0
+        self._per_stream_usage: Dict[StreamId, float] = {}
+        self._stored_streams: Dict[StreamId, float] = {}
+        self.edge_servers: List[EdgeServer] = self._make_edges(num_edge_servers)
+
+    def _make_edges(self, count: int) -> List[EdgeServer]:
+        if math.isinf(self.outbound_capacity_mbps):
+            return [EdgeServer(server_id="edge-0", outbound_capacity_mbps=math.inf)]
+        per_edge = self.outbound_capacity_mbps / count
+        return [
+            EdgeServer(server_id=f"edge-{i}", outbound_capacity_mbps=per_edge)
+            for i in range(count)
+        ]
+
+    # -- producer side -----------------------------------------------------
+
+    def ingest_stream(self, stream_id: StreamId, bandwidth_mbps: float) -> None:
+        """Register a producer stream uploaded into the distribution storage."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        if stream_id not in self._stored_streams:
+            self._used_inbound += bandwidth_mbps
+        self._stored_streams[stream_id] = bandwidth_mbps
+        if self._used_inbound > self.inbound_capacity_mbps + 1e-9:
+            raise ValueError("CDN inbound capacity exceeded by producer uploads")
+
+    def has_stream(self, stream_id: StreamId) -> bool:
+        """Whether the stream has been ingested and can be served."""
+        return stream_id in self._stored_streams
+
+    @property
+    def stored_streams(self) -> List[StreamId]:
+        """All streams currently available in the distribution storage."""
+        return list(self._stored_streams)
+
+    # -- viewer side -------------------------------------------------------
+
+    @property
+    def used_outbound_mbps(self) -> float:
+        """Outbound bandwidth currently reserved by viewer subscriptions."""
+        return self._used_outbound
+
+    @property
+    def available_outbound_mbps(self) -> float:
+        """Outbound bandwidth still available to new subscriptions."""
+        if math.isinf(self.outbound_capacity_mbps):
+            return math.inf
+        return max(0.0, self.outbound_capacity_mbps - self._used_outbound)
+
+    def can_serve(self, bandwidth_mbps: float) -> bool:
+        """Whether a new subscription of the given bandwidth fits."""
+        return bandwidth_mbps <= self.available_outbound_mbps + 1e-9
+
+    def allocate(self, stream_id: StreamId, bandwidth_mbps: float) -> bool:
+        """Reserve outbound capacity for serving ``stream_id`` to one viewer.
+
+        Returns ``False`` (and reserves nothing) when the capacity bound or
+        the availability of the stream would be violated.
+        """
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        if not self.has_stream(stream_id):
+            return False
+        if not self.can_serve(bandwidth_mbps):
+            return False
+        edge = self._pick_edge(bandwidth_mbps)
+        if edge is None:
+            return False
+        edge.allocate(bandwidth_mbps)
+        self._used_outbound += bandwidth_mbps
+        self._per_stream_usage[stream_id] = (
+            self._per_stream_usage.get(stream_id, 0.0) + bandwidth_mbps
+        )
+        return True
+
+    def release(self, stream_id: StreamId, bandwidth_mbps: float) -> None:
+        """Release outbound capacity previously reserved for ``stream_id``."""
+        require_positive(bandwidth_mbps, "bandwidth_mbps")
+        current = self._per_stream_usage.get(stream_id, 0.0)
+        released = min(current, bandwidth_mbps)
+        if released <= 0:
+            return
+        self._per_stream_usage[stream_id] = current - released
+        self._used_outbound = max(0.0, self._used_outbound - released)
+        # Release from the most loaded edge; exact edge bookkeeping is not
+        # visible to the algorithms, only the aggregate matters.
+        edge = max(self.edge_servers, key=lambda e: e.used_outbound_mbps)
+        edge.release(released)
+
+    def _pick_edge(self, bandwidth_mbps: float) -> Optional[EdgeServer]:
+        """Pick the least-loaded edge server that can fit the reservation."""
+        candidates = [
+            edge
+            for edge in self.edge_servers
+            if edge.available_outbound_mbps + 1e-9 >= bandwidth_mbps
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.used_outbound_mbps)
+
+    def stream_usage(self, stream_id: StreamId) -> float:
+        """Outbound bandwidth currently spent serving ``stream_id``."""
+        return self._per_stream_usage.get(stream_id, 0.0)
+
+    def utilization(self) -> float:
+        """Fraction of the outbound capacity in use (0.0 for infinite capacity)."""
+        if math.isinf(self.outbound_capacity_mbps):
+            return 0.0
+        return self._used_outbound / self.outbound_capacity_mbps

@@ -1,0 +1,136 @@
+"""Pairwise latency model.
+
+:class:`LatencyMatrix` stores one-way propagation delays between named
+nodes (viewers, producer gateways, CDN edges, session controllers).
+:class:`DelayModel` adds the per-hop components 4D TeleCast reasons about:
+propagation delay (``d_prop``), parent processing delay (``delta``), and
+the producer-to-CDN-to-first-child constant ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.regions import RegionMap
+from repro.util.validation import require_non_negative
+
+
+class LatencyMatrix:
+    """Symmetric one-way delay matrix over named nodes.
+
+    Delays are stored per unordered pair.  Unknown pairs fall back to
+    ``default_delay`` so experiments can add late-joining nodes (e.g. CDN
+    edge servers) without regenerating the matrix.
+    """
+
+    def __init__(self, *, default_delay: float = 0.05) -> None:
+        require_non_negative(default_delay, "default_delay")
+        self._delays: Dict[Tuple[str, str], float] = {}
+        self._nodes: Dict[str, None] = {}
+        self.default_delay = default_delay
+        self.regions = RegionMap()
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def add_node(self, node_id: str) -> None:
+        """Register a node (idempotent)."""
+        self._nodes.setdefault(node_id, None)
+
+    @property
+    def nodes(self) -> List[str]:
+        """All registered node ids, in insertion order."""
+        return list(self._nodes)
+
+    def set_delay(self, a: str, b: str, delay: float) -> None:
+        """Set the one-way delay between ``a`` and ``b`` (seconds)."""
+        require_non_negative(delay, "delay")
+        self.add_node(a)
+        self.add_node(b)
+        self._delays[self._key(a, b)] = delay
+
+    def delay(self, a: str, b: str) -> float:
+        """Return the one-way delay between ``a`` and ``b`` (seconds)."""
+        if a == b:
+            return 0.0
+        return self._delays.get(self._key(a, b), self.default_delay)
+
+    def has_pair(self, a: str, b: str) -> bool:
+        """Whether an explicit delay was set for the pair."""
+        return self._key(a, b) in self._delays
+
+    def pairs(self) -> Iterable[Tuple[str, str, float]]:
+        """Iterate over all explicit (a, b, delay) triples."""
+        for (a, b), delay in self._delays.items():
+            yield a, b, delay
+
+    def mean_delay(self) -> float:
+        """Mean of all explicit pairwise delays (0.0 when empty)."""
+        if not self._delays:
+            return 0.0
+        return sum(self._delays.values()) / len(self._delays)
+
+
+@dataclass
+class DelayModel:
+    """End-to-end delay components used by the overlay and layering logic.
+
+    Attributes
+    ----------
+    matrix:
+        Pairwise propagation delays.
+    processing_delay:
+        ``delta`` in the paper: internal processing plus buffering delay a
+        frame incurs when relayed through a parent viewer (seconds).
+    cdn_delta:
+        ``Delta`` in the paper: the (assumed constant) delay from capture at
+        the producer until a frame is available at a viewer served directly
+        by the CDN.  The paper's evaluation uses 60 seconds.
+    control_processing_delay:
+        Processing time of a single control-plane step (join handling,
+        bandwidth allocation, topology formation) at a controller.
+    """
+
+    matrix: LatencyMatrix
+    processing_delay: float = 0.1
+    cdn_delta: float = 60.0
+    control_processing_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.processing_delay, "processing_delay")
+        require_non_negative(self.cdn_delta, "cdn_delta")
+        require_non_negative(
+            self.control_processing_delay, "control_processing_delay"
+        )
+
+    def propagation(self, a: str, b: str) -> float:
+        """One-way propagation delay between two nodes (seconds)."""
+        return self.matrix.delay(a, b)
+
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip time between two nodes (seconds)."""
+        return 2.0 * self.propagation(a, b)
+
+    def hop_delay(self, parent: str, child: str) -> float:
+        """Delay added by one P2P relay hop: ``d_prop + delta``."""
+        return self.propagation(parent, child) + self.processing_delay
+
+    def end_to_end_via_parent(
+        self, parent_end_to_end: float, parent: str, child: str
+    ) -> float:
+        """End-to-end delay of a stream at ``child`` when relayed by ``parent``."""
+        require_non_negative(parent_end_to_end, "parent_end_to_end")
+        return parent_end_to_end + self.hop_delay(parent, child)
+
+    def cdn_end_to_end(self, viewer: Optional[str] = None) -> float:
+        """End-to-end delay of a stream served directly from the CDN.
+
+        The paper assumes ``d_CDN + d_prop + delta = Delta`` for CDN-fed
+        viewers, i.e. a constant regardless of the particular viewer, so the
+        ``viewer`` argument is accepted but unused.  It is kept in the
+        signature to allow per-viewer relaxation (Section V-B1 notes the
+        constraint "can be easily relaxed").
+        """
+        return self.cdn_delta

@@ -1,0 +1,134 @@
+"""Synthetic PlanetLab-like latency traces.
+
+The paper draws viewer-to-viewer delays from the Harvard "syrah" 4-hour
+PlanetLab ping dataset, which is no longer distributable.  This module
+generates an all-pairs one-way delay matrix with the same structure
+observed in published PlanetLab measurements:
+
+* nodes cluster into a handful of geographic regions,
+* intra-region one-way delays are small (median ~10 ms),
+* inter-region delays are large (median ~60 ms, heavy upper tail),
+* individual pairs deviate log-normally around the regional medians,
+* an optional jitter term models the temporal variation captured by a
+  multi-hour trace.
+
+Only the *shape* matters for 4D TeleCast: the overlay and layering logic
+consume pairwise one-way delays and region labels, nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.net.latency import LatencyMatrix
+from repro.net.regions import RegionMap
+from repro.sim.rng import SeededRandom
+from repro.util.validation import require_positive
+
+#: Default region names; roughly the continents PlanetLab nodes span.
+DEFAULT_REGION_NAMES: Sequence[str] = (
+    "us-east",
+    "us-west",
+    "europe",
+    "asia",
+    "south-america",
+)
+
+
+@dataclass
+class PlanetLabTraceConfig:
+    """Parameters of the synthetic PlanetLab trace generator.
+
+    Attributes
+    ----------
+    intra_region_median:
+        Median one-way delay between nodes in the same region (seconds).
+    inter_region_median:
+        Median one-way delay between nodes in different regions (seconds).
+    sigma:
+        Log-normal shape parameter for pairwise deviation.
+    jitter_fraction:
+        Maximum relative jitter applied when sampling time-varying delays.
+    region_names:
+        Names of the geographic clusters nodes are spread across.
+    """
+
+    intra_region_median: float = 0.012
+    inter_region_median: float = 0.065
+    sigma: float = 0.45
+    jitter_fraction: float = 0.15
+    region_names: Sequence[str] = DEFAULT_REGION_NAMES
+
+    def __post_init__(self) -> None:
+        require_positive(self.intra_region_median, "intra_region_median")
+        require_positive(self.inter_region_median, "inter_region_median")
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        if not self.region_names:
+            raise ValueError("at least one region name is required")
+
+
+def generate_planetlab_matrix(
+    node_ids: Sequence[str],
+    *,
+    rng: Optional[SeededRandom] = None,
+    config: Optional[PlanetLabTraceConfig] = None,
+) -> LatencyMatrix:
+    """Generate a synthetic all-pairs one-way delay matrix for ``node_ids``.
+
+    Nodes are assigned round-robin-with-jitter to regions, then every pair
+    receives a log-normal delay around the intra- or inter-region median.
+    The result is deterministic for a given ``rng`` seed.
+    """
+    if config is None:
+        config = PlanetLabTraceConfig()
+    if rng is None:
+        rng = SeededRandom(0)
+
+    matrix = LatencyMatrix(default_delay=config.inter_region_median)
+    regions = RegionMap()
+    region_objs = [regions.add_region(name) for name in config.region_names]
+
+    for node_id in node_ids:
+        matrix.add_node(node_id)
+        regions.assign(node_id, rng.choice(region_objs))
+
+    nodes: List[str] = list(node_ids)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            same_region = regions.region_of(a) == regions.region_of(b)
+            median = (
+                config.intra_region_median
+                if same_region
+                else config.inter_region_median
+            )
+            delay = rng.lognormal(median, config.sigma)
+            matrix.set_delay(a, b, delay)
+
+    matrix.regions = regions
+    return matrix
+
+
+def sample_jittered_delay(
+    matrix: LatencyMatrix,
+    a: str,
+    b: str,
+    rng: SeededRandom,
+    *,
+    jitter_fraction: float = 0.15,
+) -> float:
+    """Sample a time-varying delay for the pair ``(a, b)``.
+
+    This models the temporal dimension of the 4-hour trace: the base delay
+    of the pair is perturbed by a bounded, symmetric relative jitter.
+    """
+    if not (0.0 <= jitter_fraction < 1.0):
+        raise ValueError("jitter_fraction must be in [0, 1)")
+    base = matrix.delay(a, b)
+    if base == 0.0:
+        return 0.0
+    factor = 1.0 + rng.uniform(-jitter_fraction, jitter_fraction)
+    return base * factor

@@ -1,0 +1,63 @@
+"""Geographic regions and the node-to-region map.
+
+4D TeleCast scales its Global Session Controller by partitioning viewers
+into region-based clusters, each managed by a Local Session Controller.
+The paper locates viewers with a topology-aware detector [15]; in the
+simulation we simply assign every node a region label when the latency
+matrix is generated and expose the mapping here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographic cluster of nodes served by one Local Session Controller."""
+
+    region_id: int
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class RegionMap:
+    """Mapping from node identifiers to :class:`Region` objects."""
+
+    regions: List[Region] = field(default_factory=list)
+    _assignment: Dict[str, Region] = field(default_factory=dict)
+
+    def add_region(self, name: str) -> Region:
+        """Create and register a new region."""
+        region = Region(region_id=len(self.regions), name=name)
+        self.regions.append(region)
+        return region
+
+    def assign(self, node_id: str, region: Region) -> None:
+        """Assign a node to a region (overwrites any previous assignment)."""
+        require(region in self.regions, f"unknown region {region!r}")
+        self._assignment[node_id] = region
+
+    def region_of(self, node_id: str) -> Region:
+        """Return the region of ``node_id``; raises ``KeyError`` if unassigned."""
+        return self._assignment[node_id]
+
+    def nodes_in(self, region: Region) -> List[str]:
+        """Return all node ids assigned to ``region``."""
+        return [node for node, reg in self._assignment.items() if reg == region]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def node_ids(self) -> Iterable[str]:
+        """Iterate over all assigned node ids."""
+        return self._assignment.keys()

@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates 4D TeleCast "using a discrete event simulator"
+(Section VII).  This package rebuilds that substrate: a deterministic,
+seedable event loop (:class:`~repro.sim.engine.Simulator`), event records,
+periodic processes and an event trace that experiments can inspect.
+"""
+
+from repro.sim.engine import Event, EventHandle, Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import SeededRandom
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "PeriodicProcess",
+    "SeededRandom",
+]

@@ -1,0 +1,155 @@
+"""Synthetic TEEVE-like 3DTI session traces.
+
+The paper's evaluation replays stream traces from a real TEEVE session in
+which "two remote participants virtually fight with each other using light
+sabers", with every stream bounded by a 2 Mbps bandwidth requirement.  The
+trace itself is not public; the quantities the simulation consumes are the
+per-stream frame timing and frame sizes, i.e. the bandwidth process.
+
+:class:`TeeveSessionTrace` generates those processes synthetically: each
+camera emits frames at a (slightly jittered) nominal rate, with frame sizes
+drawn from a truncated normal around the nominal size and modulated by a
+slow "activity" wave that mimics motion intensity peaks during the
+performance.  The long-run bandwidth of each stream stays at or below the
+configured bound, matching the paper's 2 Mbps envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.model.producer import ProducerSite
+from repro.model.stream import Frame, Stream, StreamId
+from repro.sim.rng import SeededRandom
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One generated frame together with the stream it belongs to."""
+
+    frame: Frame
+    stream: Stream
+
+
+@dataclass
+class TeeveSessionConfig:
+    """Parameters of the synthetic TEEVE session generator.
+
+    Attributes
+    ----------
+    duration:
+        Length of the generated session, in seconds.
+    size_jitter:
+        Relative standard deviation of individual frame sizes.
+    rate_jitter:
+        Relative jitter of frame inter-arrival times.
+    activity_period:
+        Period (seconds) of the slow activity wave modulating frame sizes;
+        models the alternation between calm and intense motion phases of
+        the light-saber fight.
+    activity_amplitude:
+        Relative amplitude of the activity wave (0 disables it).
+    """
+
+    duration: float = 60.0
+    size_jitter: float = 0.15
+    rate_jitter: float = 0.05
+    activity_period: float = 12.0
+    activity_amplitude: float = 0.2
+
+    def __post_init__(self) -> None:
+        require_positive(self.duration, "duration")
+        if not (0.0 <= self.size_jitter < 1.0):
+            raise ValueError("size_jitter must be in [0, 1)")
+        if not (0.0 <= self.rate_jitter < 1.0):
+            raise ValueError("rate_jitter must be in [0, 1)")
+        require_positive(self.activity_period, "activity_period")
+        if not (0.0 <= self.activity_amplitude < 1.0):
+            raise ValueError("activity_amplitude must be in [0, 1)")
+
+
+class TeeveSessionTrace:
+    """Generator of per-stream frame sequences for a set of producer sites."""
+
+    def __init__(
+        self,
+        producers: Sequence[ProducerSite],
+        *,
+        config: Optional[TeeveSessionConfig] = None,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        if not producers:
+            raise ValueError("at least one producer site is required")
+        self.producers = list(producers)
+        self.config = config or TeeveSessionConfig()
+        self._rng = rng or SeededRandom(0)
+        self._streams: Dict[StreamId, Stream] = {}
+        for site in self.producers:
+            for stream in site.streams:
+                self._streams[stream.stream_id] = stream
+
+    @property
+    def streams(self) -> List[Stream]:
+        """All streams covered by the trace."""
+        return list(self._streams.values())
+
+    def frames_for_stream(self, stream_id: StreamId) -> List[Frame]:
+        """Generate the full frame sequence of one stream.
+
+        The sequence is deterministic for a given generator instance and
+        stream (each stream consumes an independent forked RNG).
+        """
+        stream = self._streams[stream_id]
+        rng = self._rng.fork(hash(stream_id) & 0xFFFF)
+        cfg = self.config
+        frames: List[Frame] = []
+        nominal_interval = stream.frame_interval()
+        nominal_size = stream.frame_size_megabits
+        time = 0.0
+        number = 0
+        while time < cfg.duration:
+            activity = 1.0 + cfg.activity_amplitude * math.sin(
+                2.0 * math.pi * time / cfg.activity_period
+            )
+            size = nominal_size * activity
+            if cfg.size_jitter > 0:
+                size *= max(0.1, 1.0 + rng.gauss(0.0, cfg.size_jitter))
+            # Never exceed the per-stream bandwidth bound over a frame interval.
+            size = min(size, stream.bandwidth_mbps * nominal_interval)
+            frames.append(
+                Frame(
+                    stream_id=stream_id,
+                    frame_number=number,
+                    capture_time=time,
+                    size_megabits=size,
+                )
+            )
+            interval = nominal_interval
+            if cfg.rate_jitter > 0:
+                interval *= 1.0 + rng.uniform(-cfg.rate_jitter, cfg.rate_jitter)
+            time += interval
+            number += 1
+        return frames
+
+    def iter_frames(self) -> Iterator[FrameRecord]:
+        """Iterate over all frames of all streams in capture-time order."""
+        all_frames: List[FrameRecord] = []
+        for stream_id, stream in self._streams.items():
+            for frame in self.frames_for_stream(stream_id):
+                all_frames.append(FrameRecord(frame=frame, stream=stream))
+        all_frames.sort(key=lambda record: (record.frame.capture_time, record.frame.stream_id))
+        return iter(all_frames)
+
+    def mean_bandwidth_mbps(self, stream_id: StreamId) -> float:
+        """Long-run bandwidth of the generated stream (megabits per second)."""
+        frames = self.frames_for_stream(stream_id)
+        if len(frames) < 2:
+            return 0.0
+        total_megabits = sum(frame.size_megabits for frame in frames)
+        span = frames[-1].capture_time - frames[0].capture_time
+        if span <= 0:
+            return 0.0
+        return total_megabits / span

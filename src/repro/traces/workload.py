@@ -1,0 +1,237 @@
+"""Viewer workloads: arrivals, departures, view changes and flash crowds.
+
+The paper's evaluation varies the number of viewers from 10 to 1000, gives
+each viewer 12 Mbps inbound capacity and an outbound capacity drawn either
+from a fixed value or uniformly from a range (e.g. 0--12, 2--10, 4--14
+Mbps), and exercises dynamic behaviour: view changes at run time and
+"large-scale simultaneous viewer arrivals or departures".  This module
+generates those populations and event schedules deterministically from a
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.viewer import Viewer
+from repro.sim.rng import SeededRandom
+from repro.util.validation import require, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class BandwidthDistribution:
+    """Distribution of viewer outbound capacity.
+
+    ``fixed(v)`` gives every viewer exactly ``v`` Mbps; ``uniform(a, b)``
+    draws uniformly from ``[a, b]`` which is how the paper labels the
+    "C_obw = 0-12" style curves.
+    """
+
+    low_mbps: float
+    high_mbps: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.low_mbps, "low_mbps")
+        require_non_negative(self.high_mbps, "high_mbps")
+        require(self.high_mbps >= self.low_mbps, "high_mbps must be >= low_mbps")
+
+    @classmethod
+    def fixed(cls, value_mbps: float) -> "BandwidthDistribution":
+        """Every viewer gets exactly ``value_mbps`` of outbound capacity."""
+        return cls(low_mbps=value_mbps, high_mbps=value_mbps)
+
+    @classmethod
+    def uniform(cls, low_mbps: float, high_mbps: float) -> "BandwidthDistribution":
+        """Outbound capacity drawn uniformly from ``[low_mbps, high_mbps]``."""
+        return cls(low_mbps=low_mbps, high_mbps=high_mbps)
+
+    @property
+    def is_fixed(self) -> bool:
+        """Whether the distribution is a single point."""
+        return self.low_mbps == self.high_mbps
+
+    def sample(self, rng: SeededRandom) -> float:
+        """Draw one outbound capacity value."""
+        if self.is_fixed:
+            return self.low_mbps
+        return rng.uniform(self.low_mbps, self.high_mbps)
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's legend style."""
+        if self.is_fixed:
+            return f"C_obw={self.low_mbps:g}"
+        return f"C_obw={self.low_mbps:g}-{self.high_mbps:g}"
+
+
+@dataclass(frozen=True)
+class ViewerEvent:
+    """A scheduled workload event.
+
+    ``kind`` is one of ``"join"``, ``"view_change"`` or ``"depart"``.
+    ``view_index`` selects which of the experiment's candidate views the
+    viewer requests (for joins and view changes).
+    """
+
+    time: float
+    kind: str
+    viewer_id: str
+    view_index: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.time, "time")
+        if self.kind not in ("join", "view_change", "depart"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of the viewer workload generator.
+
+    Attributes
+    ----------
+    num_viewers:
+        Population size.
+    outbound:
+        Distribution of outbound capacities.
+    inbound_mbps:
+        Inbound capacity of every viewer (12 Mbps in the paper).
+    num_views:
+        Number of distinct candidate global views viewers choose from.
+    view_popularity_alpha:
+        Zipf exponent of view popularity (0 = uniform).
+    arrival_rate_per_second:
+        Rate of the Poisson arrival process.  ``None`` or 0 means all
+        viewers join at time 0 (a flash crowd), which is how the static
+        scaling experiments are run.
+    view_change_probability:
+        Probability that a given viewer performs one view change during the
+        session.
+    departure_probability:
+        Probability that a given viewer departs before the session ends.
+    session_duration:
+        Horizon over which view changes and departures are spread.
+    buffer_duration / cache_duration:
+        Gateway buffer parameters copied onto each generated viewer.
+    """
+
+    num_viewers: int = 100
+    outbound: BandwidthDistribution = field(
+        default_factory=lambda: BandwidthDistribution.uniform(0.0, 12.0)
+    )
+    inbound_mbps: float = 12.0
+    num_views: int = 1
+    view_popularity_alpha: float = 1.0
+    arrival_rate_per_second: Optional[float] = None
+    view_change_probability: float = 0.0
+    departure_probability: float = 0.0
+    session_duration: float = 300.0
+    buffer_duration: float = 0.3
+    cache_duration: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.num_viewers <= 0:
+            raise ValueError("num_viewers must be > 0")
+        require_positive(self.inbound_mbps, "inbound_mbps")
+        if self.num_views <= 0:
+            raise ValueError("num_views must be > 0")
+        require_non_negative(self.view_popularity_alpha, "view_popularity_alpha")
+        if not (0.0 <= self.view_change_probability <= 1.0):
+            raise ValueError("view_change_probability must be in [0, 1]")
+        if not (0.0 <= self.departure_probability <= 1.0):
+            raise ValueError("departure_probability must be in [0, 1]")
+        require_positive(self.session_duration, "session_duration")
+
+
+class ViewerWorkload:
+    """Deterministic generator of viewer populations and event schedules."""
+
+    def __init__(
+        self, config: WorkloadConfig, *, rng: Optional[SeededRandom] = None
+    ) -> None:
+        self.config = config
+        self._rng = rng or SeededRandom(0)
+
+    def viewers(self) -> List[Viewer]:
+        """Generate the viewer population."""
+        cfg = self.config
+        rng = self._rng.fork(1)
+        population: List[Viewer] = []
+        for index in range(cfg.num_viewers):
+            population.append(
+                Viewer(
+                    viewer_id=f"viewer-{index:05d}",
+                    inbound_capacity_mbps=cfg.inbound_mbps,
+                    outbound_capacity_mbps=cfg.outbound.sample(rng),
+                    buffer_duration=cfg.buffer_duration,
+                    cache_duration=cfg.cache_duration,
+                )
+            )
+        return population
+
+    def events(self, viewers: Optional[Sequence[Viewer]] = None) -> List[ViewerEvent]:
+        """Generate the time-ordered event schedule for the population.
+
+        Every viewer joins exactly once.  A subset (per the configured
+        probabilities) later changes view and/or departs.  With no arrival
+        rate configured, all joins happen at time 0 -- the simultaneous
+        flash-crowd arrival the paper calls out as a target scenario.
+        """
+        cfg = self.config
+        if viewers is None:
+            viewers = self.viewers()
+        rng = self._rng.fork(2)
+        events: List[ViewerEvent] = []
+
+        join_time = 0.0
+        for viewer in viewers:
+            if cfg.arrival_rate_per_second:
+                join_time += rng.poisson_interarrival(cfg.arrival_rate_per_second)
+            view_index = self._pick_view(rng)
+            events.append(
+                ViewerEvent(
+                    time=join_time,
+                    kind="join",
+                    viewer_id=viewer.viewer_id,
+                    view_index=view_index,
+                )
+            )
+            horizon_start = join_time
+            if cfg.view_change_probability > 0 and rng.random() < cfg.view_change_probability:
+                change_time = horizon_start + rng.uniform(
+                    0.0, max(1e-9, cfg.session_duration - horizon_start)
+                )
+                new_view = self._pick_view(rng)
+                if cfg.num_views > 1:
+                    while new_view == view_index:
+                        new_view = self._pick_view(rng)
+                events.append(
+                    ViewerEvent(
+                        time=change_time,
+                        kind="view_change",
+                        viewer_id=viewer.viewer_id,
+                        view_index=new_view,
+                    )
+                )
+                horizon_start = change_time
+            if cfg.departure_probability > 0 and rng.random() < cfg.departure_probability:
+                depart_time = horizon_start + rng.uniform(
+                    0.0, max(1e-9, cfg.session_duration - horizon_start)
+                )
+                events.append(
+                    ViewerEvent(
+                        time=depart_time,
+                        kind="depart",
+                        viewer_id=viewer.viewer_id,
+                    )
+                )
+        events.sort(key=lambda event: (event.time, event.viewer_id, event.kind))
+        return events
+
+    def _pick_view(self, rng: SeededRandom) -> int:
+        cfg = self.config
+        if cfg.num_views == 1:
+            return 0
+        if cfg.view_popularity_alpha <= 0:
+            return rng.randint(0, cfg.num_views - 1)
+        return rng.zipf_index(cfg.num_views, cfg.view_popularity_alpha)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layering import DelayLayerConfig
+from repro.core.telecast import TeleCastSystem, build_views
+from repro.model.cdn import CDN
+from repro.model.producer import make_default_producers
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel, LatencyMatrix
+from repro.net.planetlab import generate_planetlab_matrix
+from repro.sim.rng import SeededRandom
+
+
+@pytest.fixture
+def producers():
+    """The paper's default producer configuration: 2 sites x 8 cameras."""
+    return make_default_producers()
+
+
+@pytest.fixture
+def views(producers):
+    """Eight candidate global views with 3 streams per site."""
+    return build_views(producers, num_views=8, streams_per_site=3)
+
+
+@pytest.fixture
+def default_view(views):
+    """One global view (6 streams, 3 per site)."""
+    return views[0]
+
+
+@pytest.fixture
+def flat_delay_model():
+    """A delay model with a constant 50 ms one-way delay between all nodes."""
+    return DelayModel(
+        LatencyMatrix(default_delay=0.05),
+        processing_delay=0.1,
+        cdn_delta=60.0,
+        control_processing_delay=0.05,
+    )
+
+
+@pytest.fixture
+def layer_config():
+    """The paper's delay-layer parameters (Delta=60s, d_buff=300ms, kappa=2, d_max=65s)."""
+    return DelayLayerConfig()
+
+
+def make_viewers(count, *, outbound=4.0, inbound=12.0, prefix="viewer"):
+    """Create a homogeneous viewer population for tests."""
+    return [
+        Viewer(
+            viewer_id=f"{prefix}-{index:04d}",
+            inbound_capacity_mbps=inbound,
+            outbound_capacity_mbps=outbound,
+        )
+        for index in range(count)
+    ]
+
+
+@pytest.fixture
+def small_system(producers, flat_delay_model, layer_config):
+    """A TeleCast system with an ample CDN, suitable for small scenarios."""
+    cdn = CDN(10_000.0, delta=60.0)
+    return TeleCastSystem(producers, cdn, flat_delay_model, layer_config)
+
+
+@pytest.fixture
+def planetlab_system(producers, layer_config):
+    """A TeleCast system whose latencies come from a synthetic PlanetLab trace."""
+    viewers = make_viewers(60, outbound=6.0)
+    matrix = generate_planetlab_matrix(
+        [viewer.viewer_id for viewer in viewers] + ["GSC", "LSC-0", "CDN"],
+        rng=SeededRandom(2),
+    )
+    delay_model = DelayModel(matrix, processing_delay=0.1, cdn_delta=60.0)
+    cdn = CDN(6000.0, delta=60.0)
+    system = TeleCastSystem(producers, cdn, delay_model, layer_config)
+    return system, viewers

@@ -1,0 +1,145 @@
+"""Tests for run-time adaptation: departures, victims, view changes, layer refresh."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationManager
+from repro.core.controllers import GlobalSessionController
+from repro.model.cdn import CDN, CDN_NODE_ID
+from repro.model.viewer import Viewer
+
+
+@pytest.fixture
+def lsc(producers, flat_delay_model, layer_config):
+    cdn = CDN(10_000.0, delta=60.0)
+    gsc = GlobalSessionController(cdn, flat_delay_model, layer_config)
+    gsc.register_producer_streams([s for site in producers for s in site.streams])
+    return gsc.add_lsc("LSC-0")
+
+
+@pytest.fixture
+def manager(lsc):
+    return AdaptationManager(lsc)
+
+
+def join(lsc, viewer_id, view, outbound=6.0):
+    return lsc.join(Viewer(viewer_id=viewer_id, outbound_capacity_mbps=outbound), view)
+
+
+class TestDeparture:
+    def test_departure_of_unknown_viewer(self, manager):
+        result = manager.handle_departure("ghost")
+        assert not result.departed
+
+    def test_leaf_departure_releases_resources(self, lsc, manager, default_view):
+        join(lsc, "u1", default_view, outbound=0.0)
+        used_before = lsc.cdn.used_outbound_mbps
+        result = manager.handle_departure("u1")
+        assert result.departed
+        assert result.victims == ()
+        assert lsc.session_of("u1") is None
+        assert lsc.cdn.used_outbound_mbps < used_before
+
+    def test_parent_departure_creates_and_recovers_victims(self, lsc, manager, default_view):
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        result = manager.handle_departure("seed")
+        assert result.departed
+        assert result.victims, "the child should be orphaned in at least one tree"
+        assert result.recovered_victims == len(result.victims)
+        assert result.lost_subscriptions == 0
+        # The child is still connected and still receives all its streams.
+        child_session = lsc.session_of("child")
+        assert child_session.num_accepted_streams == 6
+        group = lsc.groups[default_view.view_id]
+        for stream_id, sub in child_session.subscriptions.items():
+            tree = group.tree(stream_id)
+            assert tree.node("child").parent_id == sub.parent_id
+            tree.validate()
+
+    def test_victims_fall_back_to_cdn_first(self, lsc, manager, default_view):
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        manager.handle_departure("seed")
+        child_session = lsc.session_of("child")
+        # With ample CDN capacity every recovered subscription is CDN-fed.
+        group = lsc.groups[default_view.view_id]
+        for stream_id, sub in child_session.subscriptions.items():
+            if group.tree(stream_id).node("child").parent_id == CDN_NODE_ID:
+                assert sub.via_cdn
+
+    def test_victim_dropped_when_no_capacity_anywhere(self, producers, flat_delay_model, layer_config, default_view):
+        cdn = CDN(12.0, delta=60.0)  # room for exactly one full view
+        gsc = GlobalSessionController(cdn, flat_delay_model, layer_config)
+        gsc.register_producer_streams([s for site in producers for s in site.streams])
+        lsc = gsc.add_lsc("LSC-0")
+        manager = AdaptationManager(lsc)
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        result = manager.handle_departure("seed")
+        # The CDN freed by the seed's departure can absorb some victims, but
+        # bookkeeping must stay consistent either way.
+        child_session = lsc.session_of("child")
+        assert result.recovered_victims + result.lost_subscriptions == len(result.victims)
+        assert child_session.num_accepted_streams <= 6
+
+
+class TestViewChange:
+    def test_view_change_switches_groups(self, lsc, manager, views):
+        join(lsc, "u1", views[0], outbound=6.0)
+        result = manager.handle_view_change("u1", views[3])
+        assert result.accepted
+        assert result.old_view_id == views[0].view_id
+        assert result.new_view_id == views[3].view_id
+        session = lsc.session_of("u1")
+        assert session.view.view_id == views[3].view_id
+        assert set(session.accepted_stream_ids) == set(views[3].stream_ids)
+
+    def test_view_change_fast_path_is_quick(self, lsc, manager, views):
+        join(lsc, "u1", views[0])
+        result = manager.handle_view_change("u1", views[2])
+        assert 0.0 < result.fast_path_delay < 0.5
+
+    def test_view_change_of_unknown_viewer(self, manager, views):
+        with pytest.raises(KeyError):
+            manager.handle_view_change("ghost", views[1])
+
+    def test_view_change_creates_victims_for_children(self, lsc, manager, views):
+        join(lsc, "seed", views[0], outbound=12.0)
+        join(lsc, "child", views[0], outbound=0.0)
+        result = manager.handle_view_change("seed", views[4])
+        assert result.victims
+        assert result.recovered_victims == len(result.victims)
+        child_session = lsc.session_of("child")
+        assert child_session.num_accepted_streams == 6
+
+    def test_old_group_membership_removed(self, lsc, manager, views):
+        join(lsc, "u1", views[0])
+        manager.handle_view_change("u1", views[5])
+        old_group = lsc.groups[views[0].view_id]
+        assert "u1" not in old_group.member_ids
+        for tree in old_group.trees.values():
+            assert "u1" not in tree
+
+
+class TestLayerRefresh:
+    def test_refresh_is_a_noop_on_consistent_state(self, lsc, manager, default_view):
+        join(lsc, "u1", default_view)
+        join(lsc, "u2", default_view, outbound=0.0)
+        dropped = manager.refresh_layers()
+        assert dropped == {}
+        for viewer_id in ("u1", "u2"):
+            assert lsc.session_of(viewer_id).skew_bound_satisfied(lsc.layer_config.kappa)
+
+    def test_refresh_restores_skew_bound_after_delay_shift(self, lsc, manager, default_view):
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        child_session = lsc.session_of("child")
+        # Simulate a network event: one P2P-fed stream suddenly lags far behind.
+        victim_sub = next(
+            sub for sub in child_session.subscriptions.values() if not sub.via_cdn
+        )
+        group = lsc.groups[default_view.view_id]
+        tree = group.tree(victim_sub.stream_id)
+        tree.node("child").end_to_end_delay = 61.5
+        manager.refresh_layers()
+        assert child_session.skew_bound_satisfied(lsc.layer_config.kappa)

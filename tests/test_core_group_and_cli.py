@@ -1,0 +1,123 @@
+"""Tests for view groups, multi-LSC operation and the experiments CLI."""
+
+import pytest
+
+from repro.core.controllers import GlobalSessionController
+from repro.core.group import ViewGroup
+from repro.core.telecast import TeleCastSystem, build_views
+from repro.experiments.__main__ import build_parser, main, render_figure
+from repro.experiments.config import PAPER_CONFIG
+from repro.model.cdn import CDN, CDN_NODE_ID
+from repro.model.viewer import Viewer
+from tests.conftest import make_viewers
+
+
+class TestViewGroup:
+    @pytest.fixture
+    def group(self, default_view, flat_delay_model):
+        return ViewGroup(view=default_view, delay_model=flat_delay_model, d_max=65.0)
+
+    def test_trees_created_for_every_stream(self, group, default_view):
+        assert set(group.trees) == set(default_view.stream_ids)
+        assert group.view_id == default_view.view_id
+        assert len(group) == 0
+
+    def test_supply_includes_cdn_and_p2p(self, group, default_view):
+        cdn = CDN(100.0, delta=60.0)
+        stream_id = default_view.stream_ids[0]
+        cdn.ingest_stream(stream_id, 2.0)
+        assert group.available_supply_mbps(stream_id, cdn) == pytest.approx(100.0)
+        tree = group.tree(stream_id)
+        tree.insert("seed", 2, 4.0)
+        assert group.available_supply_mbps(stream_id, cdn) == pytest.approx(104.0)
+        supply_map = group.supply_map(cdn)
+        assert supply_map[stream_id] == pytest.approx(104.0)
+
+    def test_parent_effective_delay_fallbacks(self, group, default_view):
+        stream_id = default_view.stream_ids[0]
+        # CDN parent -> Delta; unknown parent -> Delta; tree member -> its delay.
+        assert group.parent_effective_delay(stream_id, CDN_NODE_ID) == 60.0
+        assert group.parent_effective_delay(stream_id, "stranger") == 60.0
+        tree = group.tree(stream_id)
+        tree.insert("seed", 2, 4.0)
+        assert group.parent_effective_delay(stream_id, "seed") == 60.0
+
+    def test_children_and_forwarded_streams(self, group, default_view):
+        stream_id = default_view.stream_ids[0]
+        tree = group.tree(stream_id)
+        tree.insert("seed", 2, 4.0)
+        tree.insert("leaf", 0, 0.0)
+        assert group.children_of("seed", stream_id) == ["leaf"]
+        assert group.children_of("ghost", stream_id) == []
+        assert group.streams_forwarded_by("seed") == [stream_id]
+        assert group.streams_forwarded_by("leaf") == []
+
+
+class TestMultiLSC:
+    def test_viewers_are_routed_to_their_regional_lsc(self, producers, flat_delay_model, layer_config, default_view):
+        cdn = CDN(10_000.0, delta=60.0)
+        gsc = GlobalSessionController(cdn, flat_delay_model, layer_config)
+        gsc.register_producer_streams([s for site in producers for s in site.streams])
+        gsc.add_lsc("LSC-0", region_name="us-east")
+        gsc.add_lsc("LSC-1", region_name="europe")
+        east = Viewer(viewer_id="v-east", region_name="us-east", outbound_capacity_mbps=6.0)
+        west = Viewer(viewer_id="v-eu", region_name="europe", outbound_capacity_mbps=6.0)
+        gsc.lsc_for_viewer(east).join(east, default_view)
+        gsc.lsc_for_viewer(west).join(west, default_view)
+        assert gsc.lsc("LSC-0").session_of("v-east") is not None
+        assert gsc.lsc("LSC-1").session_of("v-eu") is not None
+        assert gsc.lsc_of_connected_viewer("v-east").lsc_id == "LSC-0"
+        assert gsc.total_connected_viewers() == 2
+
+    def test_telecast_system_with_multiple_lscs(self, producers, flat_delay_model, layer_config):
+        system = TeleCastSystem(
+            producers, CDN(10_000.0, delta=60.0), flat_delay_model, layer_config, num_lscs=2
+        )
+        views = build_views(producers, num_views=2, streams_per_site=3)
+        for index, viewer in enumerate(make_viewers(6, outbound=6.0)):
+            viewer.region_name = f"region-{index % 2}"
+            result = system.join_viewer(viewer, views[index % 2])
+            assert result.accepted
+        assert system.connected_viewer_count == 6
+        per_lsc = [len(lsc.sessions) for lsc in system.gsc.lscs]
+        assert sorted(per_lsc) == [3, 3]
+
+
+class TestExperimentsCli:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "13a" in out and "15b" in out
+
+    def test_no_arguments_lists_figures(self, capsys):
+        assert main([]) == 0
+        assert "14c" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self):
+        with pytest.raises(SystemExit):
+            main(["99z"])
+
+    def test_invalid_viewer_count_errors(self):
+        with pytest.raises(SystemExit):
+            main(["14a", "--viewers", "0"])
+
+    def test_renders_distribution_figure_at_small_scale(self, capsys):
+        assert main(["14b", "--viewers", "40", "--step", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14b" in out
+        assert "accepted_streams" in out
+
+    def test_renders_scaling_figure_at_small_scale(self, capsys):
+        assert main(["15b", "--viewers", "40", "--step", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "TeleCast" in out and "Random" in out
+
+    def test_render_figure_rejects_unknown_id(self):
+        with pytest.raises(KeyError):
+            render_figure("99x", PAPER_CONFIG.with_(num_viewers=10, cdn_capacity_mbps=60.0), 10)
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["13a"])
+        assert args.viewers == PAPER_CONFIG.num_viewers
+        assert args.step == 100

@@ -1,0 +1,151 @@
+"""Tests for the session routing table (Table I) and per-viewer session state."""
+
+import pytest
+
+from repro.core.routing_table import (
+    ForwardingAction,
+    MatchField,
+    SessionRoutingTable,
+)
+from repro.core.state import StreamSubscription, ViewerSession
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.producer import make_default_producers
+from repro.model.stream import StreamId
+from repro.model.viewer import Viewer
+
+
+@pytest.fixture
+def stream_id():
+    return StreamId("A", 0)
+
+
+class TestSessionRoutingTable:
+    def test_upsert_and_lookup(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("parent-1", stream_id)
+        assert table.lookup("parent-1", stream_id) is entry
+        assert table.lookup("parent-2", stream_id) is None
+        assert table.lookup_stream(stream_id) is entry
+        assert len(table) == 1
+
+    def test_upsert_is_idempotent(self, stream_id):
+        table = SessionRoutingTable()
+        assert table.upsert("p", stream_id) is table.upsert("p", stream_id)
+        assert len(table) == 1
+
+    def test_add_and_remove_children(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("p", stream_id)
+        entry.add_child("child-1")
+        entry.add_child("child-2", subscription_frame=42)
+        assert set(table.children_of(stream_id)) == {"child-1", "child-2"}
+        assert entry.children["child-2"].subscription_frame == 42
+        assert entry.remove_child("child-1")
+        assert not entry.remove_child("child-1")
+        assert table.children_of(stream_id) == ["child-2"]
+
+    def test_default_action_is_forward(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("p", stream_id)
+        entry.add_child("c")
+        assert entry.children["c"].action is ForwardingAction.FORWARD
+        assert [state.child_id for state in entry.forwarding_targets()] == ["c"]
+
+    def test_drop_action_excluded_from_forwarding(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("p", stream_id)
+        entry.add_child("c", action=ForwardingAction.DROP)
+        assert entry.forwarding_targets() == []
+
+    def test_set_subscription_point(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("p", stream_id)
+        entry.add_child("c")
+        entry.set_subscription_point("c", 120)
+        assert entry.children["c"].subscription_frame == 120
+        with pytest.raises(KeyError):
+            entry.set_subscription_point("ghost", 1)
+
+    def test_remove_entry_and_stream(self, stream_id):
+        table = SessionRoutingTable()
+        table.upsert("p1", stream_id)
+        table.upsert("p2", stream_id)
+        assert table.remove("p1", stream_id)
+        assert not table.remove("p1", stream_id)
+        assert table.remove_stream(stream_id) == 1
+        assert table.streams() == []
+
+    def test_reparent_moves_children(self, stream_id):
+        table = SessionRoutingTable()
+        entry = table.upsert("old-parent", stream_id)
+        entry.add_child("c1")
+        new_entry = table.reparent(stream_id, "new-parent")
+        assert table.lookup("old-parent", stream_id) is None
+        assert table.lookup("new-parent", stream_id) is new_entry
+        assert "c1" in new_entry.children
+
+    def test_match_field_str(self, stream_id):
+        assert str(MatchField("p", stream_id)) == "p:S0@A"
+
+
+def _subscription(stream, parent=CDN_NODE_ID, delay=60.0, layer=0):
+    return StreamSubscription(
+        stream=stream,
+        parent_id=parent,
+        end_to_end_delay=delay,
+        effective_delay=delay,
+        layer=layer,
+        via_cdn=parent == CDN_NODE_ID,
+    )
+
+
+class TestViewerSession:
+    @pytest.fixture
+    def session(self, default_view):
+        viewer = Viewer(viewer_id="v1", outbound_capacity_mbps=6.0)
+        return ViewerSession(viewer=viewer, view=default_view, lsc_id="LSC-0")
+
+    def test_empty_session(self, session):
+        assert session.num_accepted_streams == 0
+        assert session.max_layer is None
+        assert session.min_layer is None
+        assert session.layer_spread() == 0
+        assert session.allocated_inbound_mbps == 0.0
+
+    def test_accounting_with_subscriptions(self, session, default_view):
+        streams = default_view.streams[:3]
+        for index, stream in enumerate(streams):
+            session.subscriptions[stream.stream_id] = _subscription(stream, layer=index)
+        assert session.num_accepted_streams == 3
+        assert session.allocated_inbound_mbps == pytest.approx(6.0)
+        assert session.max_layer == 2
+        assert session.min_layer == 0
+        assert session.layer_spread() == 2
+        assert session.skew_bound_satisfied(kappa=2)
+        assert not session.skew_bound_satisfied(kappa=1)
+
+    def test_drop_subscription_cleans_routing_and_buffer(self, session, default_view):
+        stream = default_view.streams[0]
+        session.subscriptions[stream.stream_id] = _subscription(stream)
+        session.routing_table.upsert(CDN_NODE_ID, stream.stream_id)
+        session.viewer.buffer_for(stream.stream_id)
+        dropped = session.drop_subscription(stream.stream_id)
+        assert dropped is not None
+        assert session.num_accepted_streams == 0
+        assert session.routing_table.streams() == []
+        assert session.viewer.buffered_streams == ()
+        assert session.drop_subscription(stream.stream_id) is None
+
+    def test_delayed_receive(self, default_view):
+        stream = default_view.streams[0]
+        sub = StreamSubscription(
+            stream=stream, parent_id="p", end_to_end_delay=60.2, effective_delay=60.6
+        )
+        assert sub.delayed_receive == pytest.approx(0.4)
+        assert sub.bandwidth_mbps == stream.bandwidth_mbps
+
+    def test_outbound_accounting(self, session, default_view):
+        stream = default_view.streams[0]
+        session.outbound_allocation_mbps[stream.stream_id] = 4.0
+        session.out_degree[stream.stream_id] = 2
+        assert session.allocated_outbound_mbps == 4.0

@@ -1,0 +1,206 @@
+"""Tests for stream subscription / view synchronization (Section V-B3)."""
+
+import pytest
+
+from repro.core.layering import DelayLayerConfig
+from repro.core.state import StreamSubscription, ViewerSession
+from repro.core.subscription import (
+    apply_plan,
+    minimum_layer_for,
+    needs_resubscription,
+    plan_view_synchronization,
+)
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel, LatencyMatrix
+
+
+@pytest.fixture
+def config():
+    return DelayLayerConfig()
+
+
+@pytest.fixture
+def delay_model():
+    return DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1, cdn_delta=60.0)
+
+
+def make_subscriptions(view, parents_and_delays):
+    """Build subscriptions for the first len(parents_and_delays) streams of a view."""
+    subs = {}
+    for stream, (parent, delay) in zip(view.streams, parents_and_delays):
+        subs[stream.stream_id] = StreamSubscription(
+            stream=stream,
+            parent_id=parent,
+            end_to_end_delay=delay,
+            effective_delay=delay,
+            via_cdn=parent == CDN_NODE_ID,
+        )
+    return subs
+
+
+class TestMinimumLayer:
+    def test_cdn_parent_gives_layer_zero(self, config, delay_model):
+        assert minimum_layer_for(config, delay_model, "u", CDN_NODE_ID, 60.0) == 0
+
+    def test_viewer_parent_adds_hop(self, config, delay_model):
+        assert minimum_layer_for(config, delay_model, "u", "parent", 60.0) == 1
+
+    def test_deep_parent_gives_deep_layer(self, config, delay_model):
+        assert minimum_layer_for(config, delay_model, "u", "parent", 62.0) >= 13
+
+
+class TestPlanning:
+    def test_all_cdn_streams_need_no_pushdown(self, config, delay_model, default_view):
+        subs = make_subscriptions(default_view, [(CDN_NODE_ID, 60.0)] * 6)
+        parent_delays = {sid: 60.0 for sid in subs}
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        assert plan.dropped_stream_ids == ()
+        assert plan.layer_spread() == 0
+        assert all(not p.pushed_down for p in plan.per_stream.values())
+
+    def test_spread_within_kappa_is_left_alone(self, config, delay_model, default_view):
+        subs = make_subscriptions(
+            default_view, [(CDN_NODE_ID, 60.0), ("p1", 60.15)]
+        )
+        parent_delays = {sid: sub.end_to_end_delay if sub.parent_id == CDN_NODE_ID else 60.0
+                         for sid, sub in subs.items()}
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        assert plan.layer_spread() <= config.kappa
+        assert plan.dropped_stream_ids == ()
+
+    def test_fresh_streams_pushed_down_to_lagging_one(self, config, delay_model, default_view):
+        # One stream arrives via a deep parent (layer ~6); CDN streams must
+        # be pushed down to within kappa of it.
+        subs = make_subscriptions(
+            default_view,
+            [(CDN_NODE_ID, 60.0), (CDN_NODE_ID, 60.0), ("deep-parent", 60.9)],
+        )
+        parent_delays = {}
+        for sid, sub in subs.items():
+            parent_delays[sid] = 60.75 if sub.parent_id == "deep-parent" else 60.0
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        assert plan.dropped_stream_ids == ()
+        assert plan.layer_spread() <= config.kappa
+        pushed = [p for p in plan.per_stream.values() if p.pushed_down]
+        assert pushed, "expected the CDN-fed streams to be delayed"
+
+    def test_pushed_down_stream_gets_larger_effective_delay(self, config, delay_model, default_view):
+        subs = make_subscriptions(
+            default_view, [(CDN_NODE_ID, 60.0), ("deep-parent", 61.5)]
+        )
+        parent_delays = {
+            sid: 61.35 if sub.parent_id == "deep-parent" else 60.0
+            for sid, sub in subs.items()
+        }
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        cdn_stream = next(
+            sid for sid, sub in subs.items() if sub.parent_id == CDN_NODE_ID
+        )
+        assert plan.per_stream[cdn_stream].effective_delay > 60.0
+
+    def test_unacceptable_layer_is_dropped(self, config, delay_model, default_view):
+        # Parent so deep that the achievable layer exceeds the d_max bound.
+        subs = make_subscriptions(
+            default_view, [(CDN_NODE_ID, 60.0), ("very-deep", 64.99)]
+        )
+        parent_delays = {
+            sid: 64.95 if sub.parent_id == "very-deep" else 60.0
+            for sid, sub in subs.items()
+        }
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        assert len(plan.dropped_stream_ids) == 1
+        kept = plan.kept_stream_ids
+        assert len(kept) == 1
+
+    def test_empty_subscriptions(self, config, delay_model):
+        plan = plan_view_synchronization(config, delay_model, "u", {}, {})
+        assert plan.per_stream == {}
+        assert plan.layer_spread() == 0
+
+
+class TestApplyPlan:
+    def _session(self, view, subs):
+        session = ViewerSession(
+            viewer=Viewer(viewer_id="u"), view=view, lsc_id="LSC-0"
+        )
+        session.subscriptions.update(subs)
+        return session
+
+    def test_layers_and_delays_applied(self, config, delay_model, default_view):
+        subs = make_subscriptions(
+            default_view, [(CDN_NODE_ID, 60.0), ("deep-parent", 60.9)]
+        )
+        parent_delays = {
+            sid: 60.75 if sub.parent_id == "deep-parent" else 60.0
+            for sid, sub in subs.items()
+        }
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        session = self._session(default_view, subs)
+        dropped = apply_plan(config, delay_model, session, plan)
+        assert dropped == []
+        assert session.layer_spread() <= config.kappa
+
+    def test_dropped_streams_removed_from_session(self, config, delay_model, default_view):
+        subs = make_subscriptions(
+            default_view, [(CDN_NODE_ID, 60.0), ("very-deep", 64.99)]
+        )
+        parent_delays = {
+            sid: 64.95 if sub.parent_id == "very-deep" else 60.0
+            for sid, sub in subs.items()
+        }
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        session = self._session(default_view, subs)
+        dropped = apply_plan(config, delay_model, session, plan)
+        assert len(dropped) == 1
+        assert session.num_accepted_streams == 1
+
+    def test_subscription_points_computed_for_pushdowns(self, config, delay_model, default_view):
+        subs = make_subscriptions(
+            default_view, [("parent-a", 60.15), ("deep-parent", 61.0)]
+        )
+        parent_delays = {
+            sid: 60.85 if sub.parent_id == "deep-parent" else 60.0
+            for sid, sub in subs.items()
+        }
+        plan = plan_view_synchronization(config, delay_model, "u", subs, parent_delays)
+        session = self._session(default_view, subs)
+        latest = {sid: 1000 for sid in subs}
+        apply_plan(config, delay_model, session, plan, latest_frame_numbers=latest)
+        pushed = [
+            session.subscriptions[sid]
+            for sid, stream_plan in plan.per_stream.items()
+            if stream_plan.pushed_down and sid in session.subscriptions
+        ]
+        assert pushed
+        assert all(sub.subscription_frame is not None for sub in pushed)
+
+
+class TestResubscriptionTrigger:
+    def _session_with_layers(self, view, layers):
+        session = ViewerSession(viewer=Viewer(viewer_id="child"), view=view, lsc_id="LSC-0")
+        for stream, layer in zip(view.streams, layers):
+            session.subscriptions[stream.stream_id] = StreamSubscription(
+                stream=stream,
+                parent_id="parent",
+                end_to_end_delay=60.0 + layer * 0.15,
+                effective_delay=60.0 + layer * 0.15,
+                layer=layer,
+            )
+        return session
+
+    def test_no_resubscription_when_parent_still_supports_layer(self, config, delay_model, default_view):
+        session = self._session_with_layers(default_view, [3, 3])
+        stream_id = default_view.streams[0].stream_id
+        assert not needs_resubscription(config, delay_model, session, stream_id, 60.0)
+
+    def test_resubscription_when_parent_delay_grows(self, config, delay_model, default_view):
+        session = self._session_with_layers(default_view, [1, 1])
+        stream_id = default_view.streams[0].stream_id
+        # Parent now lags far beyond the child's current worst layer.
+        assert needs_resubscription(config, delay_model, session, stream_id, 61.5)
+
+    def test_unknown_stream_is_ignored(self, config, delay_model, default_view):
+        session = self._session_with_layers(default_view, [1])
+        other = default_view.streams[-1].stream_id
+        assert not needs_resubscription(config, delay_model, session, other, 65.0)

@@ -1,0 +1,177 @@
+"""Tests for experiment configuration, the scenario runner and figure drivers.
+
+Figure drivers are exercised at a reduced scale (tens of viewers) so the
+whole suite stays fast; the full-scale shapes are checked by the benchmark
+harness.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import (
+    FIGURE_13_BANDWIDTH_SETTINGS,
+    PAPER_CONFIG,
+    ExperimentConfig,
+    viewer_counts,
+)
+from repro.experiments.figures import (
+    figure_13a_cdn_bandwidth,
+    figure_13c_acceptance_ratio,
+    figure_14b_accepted_streams,
+    figure_14c_overhead,
+    figure_15b_vs_random_scale,
+)
+from repro.experiments.reporting import (
+    format_distribution_figure,
+    format_scaling_figure,
+    paper_vs_measured,
+)
+from repro.experiments.runner import run_random_scenario, run_telecast_scenario
+from repro.traces.workload import BandwidthDistribution
+
+
+@pytest.fixture
+def tiny_config():
+    """A 60-viewer configuration with a proportionally scaled CDN."""
+    return PAPER_CONFIG.with_(num_viewers=60, cdn_capacity_mbps=360.0, num_views=4)
+
+
+class TestExperimentConfig:
+    def test_paper_defaults_match_section_vii(self):
+        assert PAPER_CONFIG.num_sites == 2
+        assert PAPER_CONFIG.cameras_per_site == 8
+        assert PAPER_CONFIG.stream_bandwidth_mbps == 2.0
+        assert PAPER_CONFIG.streams_per_view == 6
+        assert PAPER_CONFIG.inbound_mbps == 12.0
+        assert PAPER_CONFIG.cdn_capacity_mbps == 6000.0
+        assert PAPER_CONFIG.cdn_delta == 60.0
+        assert PAPER_CONFIG.d_max == 65.0
+        assert PAPER_CONFIG.buffer_duration == pytest.approx(0.3)
+        assert PAPER_CONFIG.cache_duration == 25.0
+        assert PAPER_CONFIG.kappa == 2
+        assert PAPER_CONFIG.num_viewers == 1000
+
+    def test_demand_matches_paper_total(self):
+        assert PAPER_CONFIG.demand_mbps == 12_000.0
+
+    def test_layer_config_derivation(self):
+        layer_config = PAPER_CONFIG.layer_config()
+        assert layer_config.delta == 60.0
+        assert layer_config.tau == pytest.approx(0.15)
+        assert layer_config.cache_duration == 25.0
+
+    def test_with_helpers(self):
+        config = PAPER_CONFIG.with_viewers(10)
+        assert config.num_viewers == 10
+        uncapped = config.with_uncapped_cdn()
+        assert math.isinf(uncapped.cdn_capacity_mbps)
+        rebound = config.with_outbound(BandwidthDistribution.fixed(8.0))
+        assert rebound.outbound.is_fixed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_viewers=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(d_max=50.0, cdn_delta=60.0)
+
+    def test_figure13_settings_cover_paper_legend(self):
+        labels = {setting.label() for setting in FIGURE_13_BANDWIDTH_SETTINGS}
+        assert "C_obw=0" in labels
+        assert "C_obw=0-12" in labels
+        assert "C_obw=4-14" in labels
+
+    def test_viewer_counts(self):
+        assert viewer_counts(1000)[0] == 100
+        assert viewer_counts(1000)[-1] == 1000
+        assert viewer_counts(250, 100) == [100, 200, 250]
+        with pytest.raises(ValueError):
+            viewer_counts(0)
+
+
+class TestRunner:
+    def test_telecast_scenario_runs(self, tiny_config):
+        result = run_telecast_scenario(tiny_config, snapshot_every=20)
+        assert result.final_snapshot.num_requests == 60
+        assert 0.0 < result.acceptance_ratio <= 1.0
+        assert result.metrics.snapshots
+        assert result.cdn_outbound_mbps <= tiny_config.cdn_capacity_mbps + 1e-9
+
+    def test_random_scenario_runs(self, tiny_config):
+        result = run_random_scenario(tiny_config, snapshot_every=20)
+        assert result.final_snapshot.num_requests == 60
+        assert 0.0 < result.acceptance_ratio <= 1.0
+
+    def test_scenarios_are_deterministic(self, tiny_config):
+        first = run_telecast_scenario(tiny_config, snapshot_every=None)
+        second = run_telecast_scenario(tiny_config, snapshot_every=None)
+        assert first.acceptance_ratio == second.acceptance_ratio
+        assert first.cdn_outbound_mbps == second.cdn_outbound_mbps
+
+    def test_seed_changes_population(self, tiny_config):
+        alternative = tiny_config.with_(seed=99)
+        base = run_telecast_scenario(tiny_config, snapshot_every=None)
+        other = run_telecast_scenario(alternative, snapshot_every=None)
+        assert base.final_snapshot.num_requests == other.final_snapshot.num_requests
+
+
+class TestFigures:
+    def test_figure_13a_zero_contribution_uses_full_demand(self, tiny_config):
+        figure = figure_13a_cdn_bandwidth(
+            tiny_config,
+            bandwidth_settings=[BandwidthDistribution.fixed(0.0)],
+            step=20,
+        )
+        series = figure.series_by_label("C_obw=0")
+        assert series.final_value() == tiny_config.demand_mbps
+        assert series.num_viewers[-1] == 60
+
+    def test_figure_13c_monotone_in_contribution(self, tiny_config):
+        figure = figure_13c_acceptance_ratio(
+            tiny_config,
+            bandwidth_settings=[
+                BandwidthDistribution.fixed(0.0),
+                BandwidthDistribution.fixed(8.0),
+            ],
+            step=20,
+        )
+        zero = figure.series_by_label("C_obw=0").final_value()
+        eight = figure.series_by_label("C_obw=8").final_value()
+        assert eight >= zero
+
+    def test_figure_14b_counts_cover_all_requests(self, tiny_config):
+        figure = figure_14b_accepted_streams(tiny_config)
+        assert len(figure.samples["accepted_streams"]) == 60
+        assert set(figure.samples["accepted_streams"]) <= set(range(0, 7))
+
+    def test_figure_14c_produces_both_cdfs(self, tiny_config):
+        figure = figure_14c_overhead(tiny_config, view_change_probability=0.5)
+        assert figure.samples["join_delay"]
+        assert figure.samples["view_change_delay"]
+
+    def test_figure_15b_has_both_systems(self, tiny_config):
+        figure = figure_15b_vs_random_scale(tiny_config, step=20)
+        telecast = figure.series_by_label("TeleCast")
+        random_series = figure.series_by_label("Random")
+        assert len(telecast.values) == len(random_series.values)
+        assert all(0.0 <= value <= 1.0 for value in telecast.values + random_series.values)
+
+
+class TestReporting:
+    def test_format_scaling_figure(self, tiny_config):
+        figure = figure_13c_acceptance_ratio(
+            tiny_config, bandwidth_settings=[BandwidthDistribution.fixed(4.0)], step=30
+        )
+        text = format_scaling_figure(figure)
+        assert "Figure 13c" in text
+        assert "C_obw=4" in text
+
+    def test_format_distribution_figure(self, tiny_config):
+        figure = figure_14b_accepted_streams(tiny_config)
+        text = format_distribution_figure(figure, thresholds=(0.0,))
+        assert "accepted_streams" in text
+        assert "fraction <= 0" in text
+
+    def test_paper_vs_measured_table(self):
+        table = paper_vs_measured([("acceptance", "1.0", "0.99")])
+        assert "quantity" in table and "acceptance" in table

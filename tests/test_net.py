@@ -1,0 +1,152 @@
+"""Tests for the network substrate: regions, latency matrix, PlanetLab traces."""
+
+import pytest
+
+from repro.net.latency import DelayModel, LatencyMatrix
+from repro.net.planetlab import (
+    PlanetLabTraceConfig,
+    generate_planetlab_matrix,
+    sample_jittered_delay,
+)
+from repro.net.regions import RegionMap
+from repro.sim.rng import SeededRandom
+
+
+class TestRegionMap:
+    def test_add_and_assign(self):
+        regions = RegionMap()
+        europe = regions.add_region("europe")
+        regions.assign("node-1", europe)
+        assert regions.region_of("node-1") == europe
+        assert "node-1" in regions
+        assert regions.nodes_in(europe) == ["node-1"]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            RegionMap().region_of("missing")
+
+    def test_assign_unknown_region_rejected(self):
+        regions = RegionMap()
+        other = RegionMap().add_region("elsewhere")
+        with pytest.raises(ValueError):
+            regions.assign("node-1", other)
+
+    def test_len_counts_assignments(self):
+        regions = RegionMap()
+        region = regions.add_region("r")
+        regions.assign("a", region)
+        regions.assign("b", region)
+        assert len(regions) == 2
+
+
+class TestLatencyMatrix:
+    def test_symmetric_lookup(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.02)
+        assert matrix.delay("a", "b") == 0.02
+        assert matrix.delay("b", "a") == 0.02
+
+    def test_self_delay_is_zero(self):
+        assert LatencyMatrix().delay("a", "a") == 0.0
+
+    def test_default_delay_for_unknown_pair(self):
+        matrix = LatencyMatrix(default_delay=0.07)
+        assert matrix.delay("x", "y") == 0.07
+        assert not matrix.has_pair("x", "y")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix().set_delay("a", "b", -0.01)
+
+    def test_nodes_and_pairs(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.01)
+        matrix.set_delay("a", "c", 0.03)
+        assert set(matrix.nodes) == {"a", "b", "c"}
+        assert len(list(matrix.pairs())) == 2
+        assert matrix.mean_delay() == pytest.approx(0.02)
+
+    def test_mean_delay_empty(self):
+        assert LatencyMatrix().mean_delay() == 0.0
+
+
+class TestDelayModel:
+    def test_rtt_is_twice_propagation(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.03)
+        model = DelayModel(matrix)
+        assert model.rtt("a", "b") == pytest.approx(0.06)
+
+    def test_hop_delay_adds_processing(self):
+        model = DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1)
+        assert model.hop_delay("p", "c") == pytest.approx(0.15)
+
+    def test_end_to_end_via_parent(self):
+        model = DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1)
+        assert model.end_to_end_via_parent(60.0, "p", "c") == pytest.approx(60.15)
+
+    def test_cdn_end_to_end_is_delta(self):
+        model = DelayModel(LatencyMatrix(), cdn_delta=60.0)
+        assert model.cdn_end_to_end("anyone") == 60.0
+
+    def test_negative_processing_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel(LatencyMatrix(), processing_delay=-0.1)
+
+
+class TestPlanetLabGenerator:
+    def test_all_pairs_present(self):
+        nodes = [f"n{i}" for i in range(10)]
+        matrix = generate_planetlab_matrix(nodes, rng=SeededRandom(1))
+        assert len(list(matrix.pairs())) == 45
+        assert all(node in matrix.regions for node in nodes)
+
+    def test_deterministic_for_seed(self):
+        nodes = [f"n{i}" for i in range(8)]
+        a = generate_planetlab_matrix(nodes, rng=SeededRandom(5))
+        b = generate_planetlab_matrix(nodes, rng=SeededRandom(5))
+        assert [round(d, 9) for *_pair, d in a.pairs()] == [
+            round(d, 9) for *_pair, d in b.pairs()
+        ]
+
+    def test_intra_region_faster_than_inter_region_on_average(self):
+        nodes = [f"n{i}" for i in range(60)]
+        matrix = generate_planetlab_matrix(nodes, rng=SeededRandom(3))
+        intra, inter = [], []
+        for a, b, delay in matrix.pairs():
+            if matrix.regions.region_of(a) == matrix.regions.region_of(b):
+                intra.append(delay)
+            else:
+                inter.append(delay)
+        assert intra and inter
+        assert sum(intra) / len(intra) < sum(inter) / len(inter)
+
+    def test_all_delays_positive(self):
+        matrix = generate_planetlab_matrix([f"n{i}" for i in range(20)], rng=SeededRandom(4))
+        assert all(delay > 0 for *_pair, delay in matrix.pairs())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlanetLabTraceConfig(intra_region_median=0.0)
+        with pytest.raises(ValueError):
+            PlanetLabTraceConfig(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            PlanetLabTraceConfig(region_names=())
+
+    def test_jittered_delay_within_bounds(self):
+        nodes = ["a", "b"]
+        matrix = generate_planetlab_matrix(nodes, rng=SeededRandom(1))
+        rng = SeededRandom(9)
+        base = matrix.delay("a", "b")
+        for _ in range(50):
+            jittered = sample_jittered_delay(matrix, "a", "b", rng, jitter_fraction=0.2)
+            assert 0.8 * base <= jittered <= 1.2 * base
+
+    def test_jittered_delay_zero_for_self(self):
+        matrix = generate_planetlab_matrix(["a", "b"], rng=SeededRandom(1))
+        assert sample_jittered_delay(matrix, "a", "a", SeededRandom(0)) == 0.0
+
+    def test_jitter_fraction_validated(self):
+        matrix = generate_planetlab_matrix(["a", "b"], rng=SeededRandom(1))
+        with pytest.raises(ValueError):
+            sample_jittered_delay(matrix, "a", "b", SeededRandom(0), jitter_fraction=1.0)

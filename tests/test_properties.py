@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the invariants the paper states.
+
+Covered invariants:
+
+* inbound allocation admits a priority-ordered prefix bounded by capacity,
+* outbound round-robin allocation is priority-monotone and never exceeds
+  capacity,
+* the degree push-down tree stays structurally valid (no over-full nodes,
+  no cycles, delays within the bound) for arbitrary join sequences,
+* the layer formula of Equation 1 matches the layer implied by the delay
+  interval definition,
+* the view-synchronization plan always bounds the layer spread by kappa
+  and never keeps an unacceptable layer,
+* the empirical CDF helper is monotone and normalised.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import allocate_inbound, allocate_outbound, priority_monotonic
+from repro.core.layering import DelayLayerConfig, compute_layer
+from repro.core.state import StreamSubscription
+from repro.core.subscription import plan_view_synchronization
+from repro.core.telecast import build_views
+from repro.core.topology import StreamTree
+from repro.metrics.stats import cdf_points
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.producer import make_default_producers
+from repro.net.latency import DelayModel, LatencyMatrix
+
+PRODUCERS = make_default_producers()
+VIEW = build_views(PRODUCERS, num_views=1, streams_per_site=3)[0]
+LAYER_CONFIG = DelayLayerConfig()
+DELAY_MODEL = DelayModel(LatencyMatrix(default_delay=0.05), processing_delay=0.1, cdn_delta=60.0)
+
+bandwidths = st.floats(min_value=0.0, max_value=40.0, allow_nan=False, allow_infinity=False)
+supplies = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False), min_size=6, max_size=6
+)
+
+
+class TestBandwidthProperties:
+    @given(inbound=bandwidths, supply_values=supplies)
+    @settings(max_examples=200, deadline=None)
+    def test_inbound_allocation_is_a_bounded_priority_prefix(self, inbound, supply_values):
+        supply = dict(zip(VIEW.stream_ids, supply_values))
+        result = allocate_inbound(VIEW, inbound, supply)
+        # Never exceeds the viewer's inbound capacity.
+        assert result.allocated_inbound_mbps <= inbound + 1e-9
+        # The accepted set is exactly a prefix of the global priority order.
+        prefix = VIEW.stream_ids[: len(result.accepted)]
+        assert result.accepted_stream_ids == prefix
+        # Acceptance implies one stream per site is covered.
+        if result.request_accepted:
+            accepted_sites = {sid.site_id for sid in result.accepted_stream_ids}
+            assert accepted_sites == set(VIEW.site_ids)
+            assert len(result.accepted) >= VIEW.site_count
+
+    @given(outbound=bandwidths)
+    @settings(max_examples=200, deadline=None)
+    def test_outbound_round_robin_is_monotone_and_bounded(self, outbound):
+        accepted = VIEW.prioritized_streams
+        allocation = allocate_outbound(accepted, outbound)
+        assert allocation.total_allocated_mbps <= outbound + 1e-9
+        assert priority_monotonic(accepted, allocation)
+        # Leftover is always smaller than one bin of the cheapest stream.
+        min_bandwidth = min(entry.stream.bandwidth_mbps for entry in accepted)
+        assert allocation.leftover_mbps < min_bandwidth
+
+    @given(outbound=bandwidths)
+    @settings(max_examples=100, deadline=None)
+    def test_out_degree_matches_allocated_bandwidth(self, outbound):
+        accepted = VIEW.prioritized_streams
+        allocation = allocate_outbound(accepted, outbound)
+        for entry in accepted:
+            degree = allocation.out_degree[entry.stream_id]
+            allocated = allocation.per_stream_mbps[entry.stream_id]
+            assert allocated == degree * entry.stream.bandwidth_mbps
+
+
+join_sequences = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),      # out-degree
+        st.floats(min_value=0.0, max_value=14.0),   # total outbound capacity
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTopologyProperties:
+    @given(sequence=join_sequences)
+    @settings(max_examples=100, deadline=None)
+    def test_degree_pushdown_preserves_tree_invariants(self, sequence):
+        stream = PRODUCERS[0].streams[0]
+        tree = StreamTree(stream, DELAY_MODEL, d_max=65.0)
+        accepted = 0
+        for index, (degree, capacity) in enumerate(sequence):
+            result = tree.insert(f"viewer-{index}", degree, capacity)
+            if result.accepted:
+                accepted += 1
+        tree.validate()
+        assert len(tree) == accepted
+        # Every member respects the delay bound.
+        assert tree.delay_violations() == []
+
+    @given(sequence=join_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_removals_keep_tree_consistent(self, sequence):
+        stream = PRODUCERS[0].streams[0]
+        tree = StreamTree(stream, DELAY_MODEL, d_max=65.0)
+        inserted = []
+        for index, (degree, capacity) in enumerate(sequence):
+            result = tree.insert(f"viewer-{index}", degree, capacity)
+            if result.accepted:
+                inserted.append(f"viewer-{index}")
+        # Remove every other member, re-attaching its orphans to the CDN.
+        for node_id in inserted[::2]:
+            removal = tree.remove(node_id)
+            for orphan in removal.orphaned_children:
+                tree.reattach_orphan(orphan, CDN_NODE_ID)
+        tree.validate()
+
+
+class TestLayeringProperties:
+    @given(
+        parent_delay=st.floats(min_value=60.0, max_value=64.5, allow_nan=False),
+        propagation=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+        processing=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equation_1_matches_layer_interval_definition(
+        self, parent_delay, propagation, processing
+    ):
+        layer = compute_layer(LAYER_CONFIG, parent_delay, propagation, processing)
+        child_delay = parent_delay + propagation + processing
+        low, high = LAYER_CONFIG.layer_delay_bounds(layer)
+        assert low <= child_delay + 1e-9
+        assert child_delay < high + 1e-9
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=60.0, max_value=64.9, allow_nan=False), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_view_sync_plan_bounds_layer_spread(self, delays):
+        streams = VIEW.streams[: len(delays)]
+        subscriptions = {}
+        parent_delays = {}
+        for stream, delay in zip(streams, delays):
+            parent = CDN_NODE_ID if delay <= 60.05 else f"parent-of-{stream.stream_id}"
+            subscriptions[stream.stream_id] = StreamSubscription(
+                stream=stream,
+                parent_id=parent,
+                end_to_end_delay=delay,
+                effective_delay=delay,
+                via_cdn=parent == CDN_NODE_ID,
+            )
+            parent_delays[stream.stream_id] = max(60.0, delay - 0.15)
+        plan = plan_view_synchronization(
+            LAYER_CONFIG, DELAY_MODEL, "viewer", subscriptions, parent_delays
+        )
+        # Kept streams are mutually synchronous and individually acceptable.
+        assert plan.layer_spread() <= LAYER_CONFIG.kappa
+        for stream_id in plan.kept_stream_ids:
+            assert LAYER_CONFIG.is_acceptable_layer(plan.per_stream[stream_id].target_layer)
+        # Dropped streams were genuinely unacceptable at their minimum layer.
+        for stream_id in plan.dropped_stream_ids:
+            minimum = plan.per_stream[stream_id].minimum_layer
+            anchor = max(
+                (plan.per_stream[sid].target_layer for sid in plan.kept_stream_ids),
+                default=minimum,
+            )
+            assert (not LAYER_CONFIG.is_acceptable_layer(minimum)) or (
+                not LAYER_CONFIG.is_acceptable_layer(max(minimum, anchor - LAYER_CONFIG.kappa))
+            )
+
+
+class TestStatsProperties:
+    @given(samples=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=200, deadline=None)
+    def test_cdf_is_monotone_and_normalised(self, samples):
+        points = cdf_points(samples)
+        values = [value for value, _fraction in points]
+        fractions = [fraction for _value, fraction in points]
+        assert values == sorted(values)
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == 1.0
+        assert all(0.0 < fraction <= 1.0 for fraction in fractions)

@@ -1,0 +1,164 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_events(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_handle_exposes_time(self):
+        sim = Simulator()
+        handle = sim.schedule(2.5, lambda: None)
+        assert handle.time == 2.5
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        executed = sim.run(until=2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 2
+
+    def test_step_returns_none_when_empty(self):
+        assert Simulator().step() is None
+
+    def test_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.fired == 4
+
+    def test_trace_records_history(self):
+        sim = Simulator(trace=True)
+        sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(2.0, lambda: None, label="b")
+        sim.run()
+        assert [event.label for event in sim.history] == ["a", "b"]
+        assert [event.time for event in sim.history] == [1.0, 2.0]
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_after_overrides_first_tick(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 2.0, lambda: ticks.append(sim.now), start_after=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_ticks(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.5)
+        process.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not process.running
+        assert process.ticks == 2
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,86 @@
+"""Tests for unit conversions and validation helpers."""
+
+import pytest
+
+from repro.util import units, validation
+
+
+class TestUnits:
+    def test_mbps_to_kbps(self):
+        assert units.mbps_to_kbps(2.0) == 2000.0
+
+    def test_kbps_to_mbps(self):
+        assert units.kbps_to_mbps(400.0) == 0.4
+
+    def test_gbps_to_mbps(self):
+        assert units.gbps_to_mbps(1.5) == 1500.0
+
+    def test_milliseconds(self):
+        assert units.milliseconds(300) == pytest.approx(0.3)
+
+    def test_ms_round_trip(self):
+        assert units.s_to_ms(units.ms_to_s(250.0)) == pytest.approx(250.0)
+
+    def test_seconds_identity(self):
+        assert units.seconds(65) == 65.0
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+    def test_bits_for_duration(self):
+        assert units.bits_for_duration(2.0, 10.0) == 20.0
+
+    def test_megabits_from_bytes(self):
+        assert units.megabits(125_000) == pytest.approx(1.0)
+
+    def test_bytes_from_megabits(self):
+        assert units.bytes_from_megabits(1.0) == pytest.approx(125_000)
+
+
+class TestValidation:
+    def test_require_passes(self):
+        validation.require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            validation.require(False, "boom")
+
+    def test_require_positive_accepts(self):
+        assert validation.require_positive(1.5, "x") == 1.5
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validation.require_positive(0, "x")
+
+    def test_require_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.require_positive(-3, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        assert validation.require_non_negative(0.0, "x") == 0.0
+
+    def test_require_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            validation.require_non_negative(-0.1, "x")
+
+    def test_require_in_range_inclusive(self):
+        assert validation.require_in_range(5, 0, 5, "x") == 5
+
+    def test_require_in_range_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            validation.require_in_range(5, 0, 5, "x", inclusive=False)
+
+    def test_require_in_range_rejects_outside(self):
+        with pytest.raises(ValueError):
+            validation.require_in_range(9, 0, 5, "x")
+
+    def test_require_type_accepts(self):
+        assert validation.require_type("abc", str, "x") == "abc"
+
+    def test_require_type_rejects(self):
+        with pytest.raises(TypeError):
+            validation.require_type("abc", int, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            validation.require_positive(-1, "bandwidth")
