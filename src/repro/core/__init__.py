@@ -16,6 +16,9 @@ Sub-modules follow the paper's structure:
   (Section III),
 * :mod:`repro.core.adaptation` -- view change, victim recovery and delay
   layer adaptation (Section VI),
+* :mod:`repro.core.recovery` -- churn and failure recovery: heartbeat
+  failure detection, incremental subtree repair and LSC failover (beyond
+  the paper: the dynamic-scenario subsystem),
 * :mod:`repro.core.telecast` -- the :class:`TeleCastSystem` facade,
 * :mod:`repro.core.dataplane` -- frame-level streaming through a built
   overlay (used by examples and synchronization tests).
@@ -36,6 +39,15 @@ from repro.core.controllers import (
 )
 from repro.core.group import ViewGroup
 from repro.core.layering import DelayLayerConfig, compute_layer, subscription_frame_number
+from repro.core.recovery import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    FailoverResult,
+    FailureDetector,
+    RecoveryManager,
+    RepairResult,
+    RepairStrategy,
+    failover_lsc,
+)
 from repro.core.routing_table import (
     ForwardingAction,
     MatchField,
@@ -63,6 +75,13 @@ __all__ = [
     "DelayLayerConfig",
     "compute_layer",
     "subscription_frame_number",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "FailoverResult",
+    "FailureDetector",
+    "RecoveryManager",
+    "RepairResult",
+    "RepairStrategy",
+    "failover_lsc",
     "ForwardingAction",
     "MatchField",
     "RoutingEntry",

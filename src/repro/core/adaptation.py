@@ -152,7 +152,7 @@ class AdaptationManager:
                     else:
                         self.lsc.cdn.release(stream_id, stream.bandwidth_mbps)
             if not attached:
-                parent_id = self._find_free_parent(group, stream_id, victim_id)
+                parent_id = tree.find_repair_parent(victim_id)
                 if parent_id is not None:
                     result = tree.reattach_orphan(victim_id, parent_id)
                     attached = result.accepted
@@ -169,46 +169,6 @@ class AdaptationManager:
                     victim_session.drop_subscription(stream_id)
                 queue.extend((stream_id, orphan) for orphan in orphans)
         return recovered, lost
-
-    def _find_free_parent(
-        self, group: ViewGroup, stream_id: StreamId, victim_id: str
-    ) -> Optional[str]:
-        """Find the shallowest member of the stream tree with a free child slot.
-
-        The victim keeps its subtree, so its own descendants are skipped to
-        avoid creating a cycle.
-        """
-        tree = group.tree(stream_id)
-        blocked = self._subtree_of(group, stream_id, victim_id)
-        frontier = list(tree.root.children)
-        while frontier:
-            candidates = sorted(
-                (tree.node(nid) for nid in frontier if nid not in blocked),
-                key=lambda n: (-n.free_slots, -n.outbound_capacity, n.node_id),
-            )
-            for candidate in candidates:
-                if candidate.free_slots > 0:
-                    return candidate.node_id
-            next_frontier: List[str] = []
-            for nid in frontier:
-                if nid in blocked:
-                    continue
-                next_frontier.extend(tree.node(nid).children)
-            frontier = next_frontier
-        return None
-
-    def _subtree_of(self, group: ViewGroup, stream_id: StreamId, root_id: str) -> set:
-        """All node ids in the subtree rooted at ``root_id`` (including itself)."""
-        tree = group.tree(stream_id)
-        seen = set()
-        stack = [root_id]
-        while stack:
-            nid = stack.pop()
-            if nid in seen or nid not in tree:
-                continue
-            seen.add(nid)
-            stack.extend(tree.node(nid).children)
-        return seen
 
     # -- delay layer adaptation -------------------------------------------------------
 

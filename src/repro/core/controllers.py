@@ -189,7 +189,13 @@ class LocalSessionController:
             )
 
         for stream_id, displaced_id in displaced:
-            self._sync_displaced_parentage(group, stream_id, displaced_id, session.viewer_id)
+            self._sync_displaced_parentage(
+                group,
+                stream_id,
+                displaced_id,
+                session.viewer_id,
+                new_parent_session=session,
+            )
 
         dropped = self._run_view_sync(group, session, now)
         self._install_routing(group, session)
@@ -253,7 +259,13 @@ class LocalSessionController:
         return result
 
     def _sync_displaced_parentage(
-        self, group: ViewGroup, stream_id: StreamId, displaced_id: str, new_parent_id: str
+        self,
+        group: ViewGroup,
+        stream_id: StreamId,
+        displaced_id: str,
+        new_parent_id: str,
+        *,
+        new_parent_session: Optional[ViewerSession] = None,
     ) -> None:
         """Update the session and routing state of a viewer pushed down by a join."""
         displaced_session = self.sessions.get(displaced_id)
@@ -267,6 +279,19 @@ class LocalSessionController:
         sub.effective_delay = max(sub.effective_delay, sub.end_to_end_delay)
         sub.via_cdn = new_parent_id == CDN_NODE_ID
         displaced_session.routing_table.reparent(stream_id, new_parent_id)
+        # The new parent (the joining viewer, whose session is not yet
+        # registered in ``self.sessions``) starts forwarding the stream to
+        # the viewer it displaced.
+        parent_session = new_parent_session or self.sessions.get(new_parent_id)
+        if parent_session is not None:
+            parent_sub = parent_session.subscriptions.get(stream_id)
+            if parent_sub is not None:
+                entry = parent_session.routing_table.upsert(
+                    parent_sub.parent_id, stream_id
+                )
+                entry.add_child(
+                    displaced_id, subscription_frame=sub.subscription_frame
+                )
         # The old parent no longer forwards this stream to the displaced
         # viewer (the joining viewer took its slot).
         old_parent_session = self.sessions.get(old_parent_id)
@@ -584,6 +609,54 @@ class GlobalSessionController:
     def lsc(self, lsc_id: str) -> LocalSessionController:
         """A specific LSC by id."""
         return self._lscs[lsc_id]
+
+    def remove_lsc(self, lsc_id: str) -> LocalSessionController:
+        """Unregister an LSC (controller failure) and return its last state.
+
+        Region mappings pointing at the removed LSC are left in place; the
+        failover path (:func:`repro.core.recovery.failover_lsc`) repoints
+        them via :meth:`reassign_regions` once a target is chosen.
+        """
+        if lsc_id not in self._lscs:
+            raise KeyError(f"unknown LSC {lsc_id!r}")
+        return self._lscs.pop(lsc_id)
+
+    def nearest_lsc_to(self, node_id: str) -> Optional[LocalSessionController]:
+        """The registered LSC with the smallest propagation delay to a node.
+
+        Used to pick the failover target for a failed controller; ties are
+        broken by LSC id so the choice is deterministic.
+        """
+        if not self._lscs:
+            return None
+        return min(
+            self._lscs.values(),
+            key=lambda lsc: (
+                self.delay_model.propagation(node_id, lsc.node_id),
+                lsc.lsc_id,
+            ),
+        )
+
+    def reassign_regions(self, old_lsc_id: str, new_lsc_id: Optional[str]) -> Tuple[str, ...]:
+        """Repoint every region mapped to ``old_lsc_id``.
+
+        With ``new_lsc_id=None`` the mappings are dropped and affected
+        regions fall back to the default LSC choice.  Returns the region
+        names that were touched.
+        """
+        affected = tuple(
+            sorted(
+                region
+                for region, lsc_id in self._region_to_lsc.items()
+                if lsc_id == old_lsc_id
+            )
+        )
+        for region in affected:
+            if new_lsc_id is None:
+                del self._region_to_lsc[region]
+            else:
+                self._region_to_lsc[region] = new_lsc_id
+        return affected
 
     def lsc_for_viewer(self, viewer: Viewer) -> LocalSessionController:
         """Pick the LSC of the viewer's region (first LSC when unmapped)."""

@@ -30,6 +30,14 @@ from repro.core.controllers import (
     LocalSessionController,
 )
 from repro.core.layering import DelayLayerConfig
+from repro.core.recovery import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    FailoverResult,
+    RecoveryManager,
+    RepairResult,
+    RepairStrategy,
+    failover_lsc,
+)
 from repro.metrics.collectors import SessionMetrics, SystemSnapshot
 from repro.model.cdn import CDN
 from repro.model.producer import ProducerSite
@@ -86,6 +94,7 @@ class TeleCastSystem:
         *,
         num_lscs: int = 1,
         simulator: Optional[Simulator] = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
     ) -> None:
         if not producers:
             raise ValueError("at least one producer site is required")
@@ -103,10 +112,15 @@ class TeleCastSystem:
         self.gsc.register_producer_streams(all_streams)
 
         self._adaptation: Dict[str, AdaptationManager] = {}
+        self._recovery: Dict[str, RecoveryManager] = {}
+        self._heartbeat_timeout = heartbeat_timeout
         region_names = self._region_names(num_lscs)
         for index in range(num_lscs):
             lsc = self.gsc.add_lsc(f"LSC-{index}", region_name=region_names[index])
             self._adaptation[lsc.lsc_id] = AdaptationManager(lsc)
+            self._recovery[lsc.lsc_id] = RecoveryManager(
+                lsc, heartbeat_timeout=heartbeat_timeout
+            )
 
         #: Streams requested by every viewer that ever attempted to join,
         #: used to report per-viewer accepted stream counts including
@@ -128,6 +142,8 @@ class TeleCastSystem:
         time = self.simulator.now if now is None else now
         lsc = self.gsc.lsc_for_viewer(viewer)
         result = lsc.join(viewer, view, time)
+        if result.accepted:
+            self._recovery[lsc.lsc_id].detector.watch(viewer.viewer_id, time)
         self._requested[viewer.viewer_id] = result.num_requested
         self.metrics.record_join(
             requested=result.num_requested,
@@ -166,10 +182,99 @@ class TeleCastSystem:
         if lsc is None:
             return DepartureResult(viewer_id=viewer_id, departed=False)
         result = self._adaptation[lsc.lsc_id].handle_departure(viewer_id, time)
+        self._recovery[lsc.lsc_id].detector.forget(viewer_id)
         self.metrics.record_victims(
             victims=len(result.victims), recovered=result.recovered_victims
         )
         self._requested.pop(viewer_id, None)
+        return result
+
+    # -- churn and failure recovery ------------------------------------------------
+
+    def fail_viewer(
+        self,
+        viewer_id: str,
+        now: Optional[float] = None,
+        *,
+        strategy: RepairStrategy = RepairStrategy.INCREMENTAL,
+    ) -> RepairResult:
+        """Handle an abrupt viewer departure (crash / silent disconnect).
+
+        The viewer's subtrees are repaired according to ``strategy``:
+        incrementally in place (the default) or by tearing them down and
+        rejoining every affected viewer from scratch (the baseline used by
+        ``benchmarks/bench_churn_recovery.py``).
+        """
+        time = self.simulator.now if now is None else now
+        lsc = self.gsc.lsc_of_connected_viewer(viewer_id)
+        if lsc is None:
+            return RepairResult(viewer_id=viewer_id, departed=False, strategy=strategy)
+        result = self._recovery[lsc.lsc_id].handle_abrupt_departure(
+            viewer_id, time, strategy=strategy
+        )
+        self.metrics.record_repair(
+            repaired_p2p=result.repaired_p2p,
+            repaired_cdn=result.repaired_cdn,
+            lost=result.lost_subscriptions,
+        )
+        self._requested.pop(viewer_id, None)
+        return result
+
+    def heartbeat(self, viewer_id: str, now: Optional[float] = None) -> None:
+        """Renew a connected viewer's heartbeat with its LSC."""
+        time = self.simulator.now if now is None else now
+        lsc = self.gsc.lsc_of_connected_viewer(viewer_id)
+        if lsc is not None:
+            self._recovery[lsc.lsc_id].detector.heartbeat(viewer_id, time)
+
+    def detect_failures(self, now: Optional[float] = None) -> List[RepairResult]:
+        """Sweep every LSC's failure detector and repair timed-out viewers."""
+        time = self.simulator.now if now is None else now
+        results: List[RepairResult] = []
+        for manager in self._recovery.values():
+            for result in manager.sweep(time):
+                if result.departed:
+                    self.metrics.record_repair(
+                        repaired_p2p=result.repaired_p2p,
+                        repaired_cdn=result.repaired_cdn,
+                        lost=result.lost_subscriptions,
+                    )
+                    self._requested.pop(result.viewer_id, None)
+                results.append(result)
+        return results
+
+    def fail_lsc(
+        self,
+        lsc_id: str,
+        now: Optional[float] = None,
+        *,
+        target_lsc_id: Optional[str] = None,
+    ) -> FailoverResult:
+        """Fail over a Local Session Controller to a surviving neighbor.
+
+        The GSC reassigns the failed region's viewers (and region
+        mappings) to ``target_lsc_id``, or to the nearest surviving LSC
+        when no explicit target is given.
+        """
+        time = self.simulator.now if now is None else now
+        affected = set(self.gsc.lsc(lsc_id).sessions)
+        result = failover_lsc(self.gsc, lsc_id, time, target_lsc_id=target_lsc_id)
+        self._adaptation.pop(lsc_id, None)
+        self._recovery.pop(lsc_id, None)
+        # Viewers the failover could not re-admit leave the session, just
+        # like any other departure path.
+        for viewer_id in affected:
+            if self.gsc.lsc_of_connected_viewer(viewer_id) is None:
+                self._requested.pop(viewer_id, None)
+        if result.target_lsc_id is not None:
+            # Migrated viewers are now monitored by the target's detector.
+            detector = self._recovery[result.target_lsc_id].detector
+            for viewer_id in self.gsc.lsc(result.target_lsc_id).sessions:
+                if viewer_id not in detector:
+                    detector.watch(viewer_id, time)
+        self.metrics.record_failover(
+            migrated=result.migrated_viewers, lost=result.lost_viewers
+        )
         return result
 
     def refresh_layers(self, now: Optional[float] = None) -> None:
@@ -237,6 +342,8 @@ class TeleCastSystem:
         for event in sorted(events, key=lambda e: (e.time, e.viewer_id)):
             self.simulator.run(until=event.time)
             if event.kind == "join":
+                if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
+                    continue  # duplicate join (e.g. a churn rejoin racing a base event)
                 viewer = by_id[event.viewer_id]
                 view = views[event.view_index % len(views)]
                 self.join_viewer(viewer, view, event.time)
@@ -249,6 +356,8 @@ class TeleCastSystem:
                     self.change_view(event.viewer_id, view, event.time)
             elif event.kind == "depart":
                 self.depart_viewer(event.viewer_id, event.time)
+            elif event.kind == "fail":
+                self.fail_viewer(event.viewer_id, event.time)
         self.take_snapshot()
         return self.metrics
 

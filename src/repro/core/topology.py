@@ -133,6 +133,61 @@ class StreamTree:
             current = self._nodes[current.parent_id]
         return depth
 
+    def subtree_ids(self, root_id: str) -> set:
+        """All node ids in the subtree rooted at ``root_id`` (including itself).
+
+        Unknown ids yield an empty set, so callers can probe victims that
+        were already torn down without special-casing.
+        """
+        seen: set = set()
+        stack = [root_id]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen or node_id not in self._nodes:
+                continue
+            seen.add(node_id)
+            stack.extend(self._nodes[node_id].children)
+        return seen
+
+    def find_repair_parent(self, orphan_id: str) -> Optional[str]:
+        """Find the best adoptive parent for an orphaned member (subtree repair).
+
+        The scan mirrors the level order of Algorithm 1 so repaired viewers
+        land where a fresh degree push-down would have put them: the tree is
+        walked level by level and, within a level, nodes with more free
+        slots (ties broken by total outbound capacity) are preferred.  The
+        orphan's own subtree is excluded -- it stays attached below the
+        orphan -- and a candidate only qualifies when adopting the orphan
+        keeps it within ``d_max``, so the returned parent can be handed
+        straight to :meth:`reattach_orphan`.  Returns ``None`` when no
+        member has usable forwarding capacity, which is the caller's cue to
+        fall back to a direct CDN subscription.
+        """
+        if orphan_id not in self._nodes:
+            return None
+        blocked = self.subtree_ids(orphan_id)
+        frontier = [nid for nid in self.root.children if nid not in blocked]
+        while frontier:
+            candidates = sorted(
+                (self._nodes[nid] for nid in frontier),
+                key=lambda n: (-n.free_slots, -n.outbound_capacity, n.node_id),
+            )
+            for candidate in candidates:
+                if candidate.free_slots <= 0:
+                    continue
+                delay = self.delay_model.end_to_end_via_parent(
+                    candidate.end_to_end_delay, candidate.node_id, orphan_id
+                )
+                if delay <= self.d_max:
+                    return candidate.node_id
+            next_frontier: List[str] = []
+            for candidate in candidates:
+                next_frontier.extend(
+                    nid for nid in candidate.children if nid not in blocked
+                )
+            frontier = next_frontier
+        return None
+
     def free_p2p_slots(self) -> int:
         """Total unfilled child slots across all member viewers."""
         return sum(

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.core.layering import DelayLayerConfig
-from repro.traces.workload import BandwidthDistribution
+from repro.traces.workload import BandwidthDistribution, ChurnConfig
 from repro.util.validation import require_positive
 
 
@@ -71,11 +71,17 @@ class ExperimentConfig:
     departure_probability: float = 0.0
     arrival_rate_per_second: Optional[float] = None
     session_duration: float = 300.0
+    #: Churn overlay (Poisson failures, mass-leave, flash-crowd mix);
+    #: ``None`` keeps the schedule free of abrupt departures.
+    churn: Optional[ChurnConfig] = None
+    #: Heartbeat timeout of the per-LSC failure detectors.
+    heartbeat_timeout: float = 10.0
 
     # Reproducibility.
     seed: int = 7
     latency_seed: int = 3
     baseline_seed: int = 11
+    churn_seed: int = 13
 
     def __post_init__(self) -> None:
         require_positive(self.num_viewers, "num_viewers")
@@ -119,6 +125,10 @@ class ExperimentConfig:
     def with_uncapped_cdn(self) -> "ExperimentConfig":
         """Copy with an unbounded CDN (used by Figure 13(a))."""
         return self.with_(cdn_capacity_mbps=math.inf)
+
+    def with_churn(self, churn: ChurnConfig) -> "ExperimentConfig":
+        """Copy with a churn overlay applied to the workload schedule."""
+        return self.with_(churn=churn)
 
 
 #: The defaults of Section VII with a bounded 6000 Mbps CDN.

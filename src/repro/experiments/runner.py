@@ -23,7 +23,7 @@ from repro.model.view import GlobalView
 from repro.net.latency import DelayModel
 from repro.net.planetlab import generate_planetlab_matrix
 from repro.sim.rng import SeededRandom
-from repro.traces.workload import ViewerWorkload, WorkloadConfig
+from repro.traces.workload import ChurnWorkload, ViewerWorkload, WorkloadConfig
 
 
 @dataclass
@@ -62,6 +62,9 @@ def _build_workload(config: ExperimentConfig):
     workload = ViewerWorkload(workload_config, rng=SeededRandom(config.seed))
     viewers = workload.viewers()
     events = workload.events(viewers)
+    if config.churn is not None:
+        churn = ChurnWorkload(config.churn, rng=SeededRandom(config.churn_seed))
+        events = churn.events(events)
     return viewers, events
 
 
@@ -101,7 +104,13 @@ def run_telecast_scenario(
     """Run one scenario through 4D TeleCast."""
     viewers, events = _build_workload(config)
     producers, delay_model, cdn, views = _build_substrates(config, viewers)
-    system = TeleCastSystem(producers, cdn, delay_model, config.layer_config())
+    system = TeleCastSystem(
+        producers,
+        cdn,
+        delay_model,
+        config.layer_config(),
+        heartbeat_timeout=config.heartbeat_timeout,
+    )
     metrics = system.run_workload(viewers, events, views, snapshot_every=snapshot_every)
     return ScenarioResult(
         config=config,
@@ -128,11 +137,14 @@ def run_random_scenario(
     )
     by_id = {viewer.viewer_id: viewer for viewer in viewers}
     joins_seen = 0
+    seen_joins = set()
     for event in events:
-        if event.kind != "join":
-            # The baseline models only joins; view change / departure
-            # dynamics are a 4D TeleCast capability.
+        if event.kind != "join" or event.viewer_id in seen_joins:
+            # The baseline models only joins; view change, departure and
+            # churn dynamics (including rejoins) are a 4D TeleCast
+            # capability.
             continue
+        seen_joins.add(event.viewer_id)
         view = views[event.view_index % len(views)]
         system.join_viewer(by_id[event.viewer_id], view, event.time)
         joins_seen += 1

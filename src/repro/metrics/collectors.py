@@ -77,6 +77,13 @@ class SessionMetrics:
     victim_events: int = 0
     recovered_victims: int = 0
     lost_victim_subscriptions: int = 0
+    abrupt_departures: int = 0
+    repaired_subscriptions_p2p: int = 0
+    repaired_subscriptions_cdn: int = 0
+    lost_repair_subscriptions: int = 0
+    lsc_failovers: int = 0
+    failover_migrated_viewers: int = 0
+    failover_lost_viewers: int = 0
     join_delays: List[float] = field(default_factory=list)
     view_change_delays: List[float] = field(default_factory=list)
     snapshots: List[SystemSnapshot] = field(default_factory=list)
@@ -124,6 +131,21 @@ class SessionMetrics:
         self.victim_events += victims
         self.recovered_victims += recovered
         self.lost_victim_subscriptions += max(0, victims - recovered)
+
+    def record_repair(
+        self, *, repaired_p2p: int, repaired_cdn: int, lost: int
+    ) -> None:
+        """Record the repair outcome of one abrupt departure."""
+        self.abrupt_departures += 1
+        self.repaired_subscriptions_p2p += repaired_p2p
+        self.repaired_subscriptions_cdn += repaired_cdn
+        self.lost_repair_subscriptions += lost
+
+    def record_failover(self, *, migrated: int, lost: int) -> None:
+        """Record the outcome of one LSC failover."""
+        self.lsc_failovers += 1
+        self.failover_migrated_viewers += migrated
+        self.failover_lost_viewers += lost
 
     def add_snapshot(self, snapshot: SystemSnapshot) -> None:
         """Store an instantaneous system snapshot (e.g. every 100 viewers)."""

@@ -13,6 +13,7 @@ Example
 >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
 >>> _ = sim.schedule(0.5, lambda: fired.append(sim.now))
 >>> sim.run()
+2
 >>> fired
 [0.5, 1.0]
 """
@@ -45,10 +46,24 @@ class _QueueEntry:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
-    """Handle returned by :meth:`Simulator.schedule` allowing cancellation."""
+    """Handle returned by :meth:`Simulator.schedule` allowing cancellation.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> handle = sim.schedule(1.0, lambda: fired.append("x"))
+    >>> handle.cancel()
+    True
+    >>> sim.run()
+    0
+    >>> fired
+    []
+    """
 
     def __init__(self, entry: _QueueEntry) -> None:
         self._entry = entry
@@ -60,12 +75,40 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
+        """Whether the event was cancelled before it fired."""
         return self._entry.cancelled
 
-    def cancel(self) -> None:
-        """Cancel the event; it will be skipped when dequeued."""
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._entry.fired
+
+    def cancel(self) -> bool:
+        """Cancel the event; it will be skipped when dequeued.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a no-op; the handle then still reports ``fired=True`` /
+        ``cancelled=False`` truthfully rather than pretending the past was
+        undone.  Returns ``True`` only when this call actually prevented
+        the event from running.
+
+        Example
+        -------
+        >>> sim = Simulator()
+        >>> handle = sim.schedule(1.0, lambda: None)
+        >>> sim.run()
+        1
+        >>> handle.cancel()  # already fired: a no-op
+        False
+        >>> handle.cancelled
+        False
+        >>> handle.fired
+        True
+        """
+        if self._entry.fired or self._entry.cancelled:
+            return False
         self._entry.cancelled = True
+        return True
 
 
 class Simulator:
@@ -109,6 +152,17 @@ class Simulator:
 
         Returns an :class:`EventHandle` that can be used to cancel the event
         before it fires.
+
+        Example
+        -------
+        >>> sim = Simulator()
+        >>> handle = sim.schedule(2.5, lambda: None, label="timeout")
+        >>> handle.time
+        2.5
+        >>> sim.run()
+        1
+        >>> sim.now
+        2.5
         """
         require_non_negative(delay, "delay")
         entry = _QueueEntry(
@@ -141,6 +195,7 @@ class Simulator:
             if entry.cancelled:
                 continue
             self._now = entry.time
+            entry.fired = True
             entry.callback()
             self._fired += 1
             record = Event(time=entry.time, seq=entry.seq, label=entry.label)

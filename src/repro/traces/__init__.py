@@ -15,6 +15,8 @@ package generates statistically equivalent substitutes:
 from repro.traces.teeve import TeeveSessionConfig, TeeveSessionTrace, FrameRecord
 from repro.traces.workload import (
     BandwidthDistribution,
+    ChurnConfig,
+    ChurnWorkload,
     ViewerEvent,
     ViewerWorkload,
     WorkloadConfig,
@@ -25,6 +27,8 @@ __all__ = [
     "TeeveSessionTrace",
     "FrameRecord",
     "BandwidthDistribution",
+    "ChurnConfig",
+    "ChurnWorkload",
     "ViewerEvent",
     "ViewerWorkload",
     "WorkloadConfig",

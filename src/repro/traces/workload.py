@@ -11,6 +11,8 @@ seed.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -68,7 +70,9 @@ class BandwidthDistribution:
 class ViewerEvent:
     """A scheduled workload event.
 
-    ``kind`` is one of ``"join"``, ``"view_change"`` or ``"depart"``.
+    ``kind`` is one of ``"join"``, ``"view_change"``, ``"depart"``
+    (graceful leave) or ``"fail"`` (abrupt departure that strands the
+    viewer's subtrees and exercises the recovery subsystem).
     ``view_index`` selects which of the experiment's candidate views the
     viewer requests (for joins and view changes).
     """
@@ -80,7 +84,7 @@ class ViewerEvent:
 
     def __post_init__(self) -> None:
         require_non_negative(self.time, "time")
-        if self.kind not in ("join", "view_change", "depart"):
+        if self.kind not in ("join", "view_change", "depart", "fail"):
             raise ValueError(f"unknown event kind {self.kind!r}")
 
 
@@ -235,3 +239,205 @@ class ViewerWorkload:
         if cfg.view_popularity_alpha <= 0:
             return rng.randint(0, cfg.num_views - 1)
         return rng.zipf_index(cfg.num_views, cfg.view_popularity_alpha)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the churn overlay applied to a base join schedule.
+
+    The dynamic scenarios the paper calls out ("large-scale simultaneous
+    viewer arrivals or departures") compose from three knobs:
+
+    * **Poisson departures** -- ``failure_rate_per_second > 0`` fails a
+      uniformly random connected viewer at exponentially distributed
+      intervals.
+    * **Correlated mass-leave** -- at ``mass_leave_time`` a
+      ``mass_leave_fraction`` of the connected population departs in the
+      same instant (e.g. the end of a performance).
+    * **Flash-crowd + churn mix** -- the base schedule's simultaneous
+      arrival combined with Poisson failures and ``rejoin_probability`` so
+      departed viewers come back after an exponential think time.
+
+    ``graceful_fraction`` turns that share of churn departures into
+    graceful ``depart`` events (the viewer notifies the LSC before
+    leaving); the remainder are abrupt ``fail`` events that exercise the
+    failure-recovery subsystem.
+    """
+
+    failure_rate_per_second: float = 0.0
+    graceful_fraction: float = 0.0
+    mass_leave_time: Optional[float] = None
+    mass_leave_fraction: float = 0.0
+    rejoin_probability: float = 0.0
+    rejoin_delay_mean: float = 30.0
+    start_time: float = 0.0
+    duration: float = 300.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.failure_rate_per_second, "failure_rate_per_second")
+        require_non_negative(self.start_time, "start_time")
+        require_positive(self.duration, "duration")
+        require_positive(self.rejoin_delay_mean, "rejoin_delay_mean")
+        for name, value in (
+            ("graceful_fraction", self.graceful_fraction),
+            ("mass_leave_fraction", self.mass_leave_fraction),
+            ("rejoin_probability", self.rejoin_probability),
+        ):
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.mass_leave_time is not None:
+            require_non_negative(self.mass_leave_time, "mass_leave_time")
+
+    @classmethod
+    def poisson(
+        cls,
+        failure_rate_per_second: float,
+        *,
+        duration: float = 300.0,
+        graceful_fraction: float = 0.0,
+    ) -> "ChurnConfig":
+        """Independent abrupt departures at the given Poisson rate."""
+        return cls(
+            failure_rate_per_second=failure_rate_per_second,
+            duration=duration,
+            graceful_fraction=graceful_fraction,
+        )
+
+    @classmethod
+    def mass_leave(
+        cls, time: float, fraction: float, *, duration: float = 300.0
+    ) -> "ChurnConfig":
+        """A correlated mass-leave of ``fraction`` of the population at ``time``."""
+        return cls(
+            mass_leave_time=time, mass_leave_fraction=fraction, duration=duration
+        )
+
+    @classmethod
+    def flash_crowd_mix(
+        cls,
+        failure_rate_per_second: float,
+        *,
+        rejoin_delay_mean: float = 30.0,
+        duration: float = 300.0,
+    ) -> "ChurnConfig":
+        """Poisson failures where every departed viewer eventually rejoins."""
+        return cls(
+            failure_rate_per_second=failure_rate_per_second,
+            rejoin_probability=1.0,
+            rejoin_delay_mean=rejoin_delay_mean,
+            duration=duration,
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Last instant at which churn events may be generated."""
+        return self.start_time + self.duration
+
+
+class ChurnWorkload:
+    """Deterministically overlays churn events on a base join schedule.
+
+    The generator replays the base schedule on a virtual clock, tracking
+    which viewers are connected at every instant (joins and departures from
+    the base schedule, prior churn, rejoins), so failures only ever hit
+    connected viewers and rejoins only re-admit departed ones.  Rejoining
+    viewers request the view they watched before departing.
+    """
+
+    def __init__(
+        self, config: ChurnConfig, *, rng: Optional[SeededRandom] = None
+    ) -> None:
+        self.config = config
+        self._rng = rng or SeededRandom(0)
+
+    def events(self, base_events: Sequence[ViewerEvent]) -> List[ViewerEvent]:
+        """Return the base schedule plus churn events, in time order.
+
+        The returned list is in *causal* order: events are emitted as the
+        virtual clock replays them, so a viewer's join always precedes a
+        churn departure at the same timestamp (and a departure precedes
+        its rejoin).  Callers that re-sort must do so stably on keys that
+        keep one viewer's events in list order.
+        """
+        cfg = self.config
+        rng = self._rng.fork(3)
+        result: List[ViewerEvent] = []
+        seq = itertools.count()
+        heap: List[Tuple[float, int, str, object]] = []
+        for event in base_events:
+            heapq.heappush(heap, (event.time, next(seq), "base", event))
+        if cfg.failure_rate_per_second > 0:
+            first = cfg.start_time + rng.poisson_interarrival(cfg.failure_rate_per_second)
+            if first <= cfg.horizon:
+                heapq.heappush(heap, (first, next(seq), "churn", None))
+        if (
+            cfg.mass_leave_time is not None
+            and cfg.mass_leave_fraction > 0
+            and cfg.mass_leave_time <= cfg.horizon
+        ):
+            heapq.heappush(heap, (cfg.mass_leave_time, next(seq), "mass", None))
+
+        alive: set = set()
+        view_of: dict = {}
+        while heap:
+            time, _, tag, payload = heapq.heappop(heap)
+            if tag == "base":
+                event = payload
+                result.append(event)
+                if event.kind == "join":
+                    alive.add(event.viewer_id)
+                    view_of[event.viewer_id] = event.view_index
+                elif event.kind == "view_change":
+                    view_of[event.viewer_id] = event.view_index
+                else:
+                    alive.discard(event.viewer_id)
+            elif tag == "churn":
+                candidates = sorted(alive)
+                if candidates:
+                    victim = candidates[rng.randint(0, len(candidates) - 1)]
+                    self._depart(result, heap, seq, rng, alive, time, victim)
+                nxt = time + rng.poisson_interarrival(cfg.failure_rate_per_second)
+                if nxt <= cfg.horizon:
+                    heapq.heappush(heap, (nxt, next(seq), "churn", None))
+            elif tag == "mass":
+                candidates = sorted(alive)
+                count = int(round(cfg.mass_leave_fraction * len(candidates)))
+                for victim in sorted(rng.sample(candidates, min(count, len(candidates)))):
+                    self._depart(result, heap, seq, rng, alive, time, victim)
+            else:  # rejoin
+                viewer_id = payload
+                if viewer_id not in alive:
+                    result.append(
+                        ViewerEvent(
+                            time=time,
+                            kind="join",
+                            viewer_id=viewer_id,
+                            view_index=view_of.get(viewer_id, 0),
+                        )
+                    )
+                    alive.add(viewer_id)
+        # Events were appended in heap-pop order, so the list is already
+        # time-sorted; re-sorting on (time, viewer_id, kind) here would
+        # break causality for same-timestamp pairs (a "fail" would sort
+        # before the "join" it depends on).
+        return result
+
+    def _depart(
+        self,
+        result: List[ViewerEvent],
+        heap: List[Tuple[float, int, str, object]],
+        seq,
+        rng: SeededRandom,
+        alive: set,
+        time: float,
+        victim: str,
+    ) -> None:
+        """Emit one churn departure and (maybe) schedule the rejoin."""
+        cfg = self.config
+        kind = "depart" if rng.random() < cfg.graceful_fraction else "fail"
+        result.append(ViewerEvent(time=time, kind=kind, viewer_id=victim))
+        alive.discard(victim)
+        if cfg.rejoin_probability > 0 and rng.random() < cfg.rejoin_probability:
+            when = time + rng.exponential(cfg.rejoin_delay_mean)
+            if when <= cfg.horizon:
+                heapq.heappush(heap, (when, next(seq), "rejoin", victim))

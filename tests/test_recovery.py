@@ -1,0 +1,460 @@
+"""Tests for the churn and failure-recovery subsystem (repro.core.recovery)."""
+
+import pytest
+
+from repro.core import (
+    FailureDetector,
+    RepairStrategy,
+)
+from repro.core.telecast import TeleCastSystem, build_views
+from repro.model.cdn import CDN, CDN_NODE_ID
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel
+from repro.net.planetlab import generate_planetlab_matrix
+from repro.sim.rng import SeededRandom
+from repro.traces.workload import (
+    ChurnConfig,
+    ChurnWorkload,
+    ViewerEvent,
+    ViewerWorkload,
+    WorkloadConfig,
+)
+from tests.conftest import make_viewers
+
+
+def join_all(system, viewers, view):
+    for viewer in viewers:
+        result = system.join_viewer(viewer, view)
+        assert result.accepted
+
+
+def assert_no_dangling_references(system, gone_viewer_ids):
+    """No session, tree or routing table may still reference departed viewers."""
+    gone = set(gone_viewer_ids)
+    for lsc in system.gsc.lscs:
+        assert not gone & set(lsc.sessions)
+        for group in lsc.groups.values():
+            assert not gone & set(group.sessions)
+            for tree in group.trees.values():
+                tree.validate()
+                assert not gone & set(tree.members())
+            for session in group.sessions.values():
+                for entry in session.routing_table.entries():
+                    assert entry.match.parent_id not in gone
+                    assert not gone & set(entry.children)
+                for sub in session.subscriptions.values():
+                    assert sub.parent_id not in gone
+
+
+def assert_routing_matches_trees(system):
+    """Every tree edge must be mirrored by forwarding state at the parent."""
+    for lsc in system.gsc.lscs:
+        for group in lsc.groups.values():
+            for stream_id, tree in group.trees.items():
+                for viewer_id in tree.members():
+                    session = lsc.sessions.get(viewer_id)
+                    assert session is not None
+                    tree_children = set(tree.node(viewer_id).children)
+                    table_children = set(session.routing_table.children_of(stream_id))
+                    assert tree_children == table_children, (
+                        f"{viewer_id}/{stream_id}: tree children {tree_children} "
+                        f"!= routing children {table_children}"
+                    )
+
+
+def assert_layer_invariants(system):
+    """Every connected viewer keeps the delay-layer invariants after repair."""
+    config = system.layer_config
+    for lsc in system.gsc.lscs:
+        for session in lsc.sessions.values():
+            assert session.skew_bound_satisfied(config.kappa)
+            for sub in session.subscriptions.values():
+                assert config.is_acceptable_layer(sub.layer)
+                assert sub.effective_delay >= sub.end_to_end_delay - 1e-9
+
+
+class TestFailureDetector:
+    def test_untracked_viewer_never_expires(self):
+        detector = FailureDetector(timeout=5.0)
+        assert detector.expired(1000.0) == []
+
+    def test_expiry_after_timeout(self):
+        detector = FailureDetector(timeout=5.0)
+        detector.watch("a", 0.0)
+        detector.watch("b", 0.0)
+        detector.heartbeat("a", 8.0)
+        assert detector.expired(10.0) == ["b"]
+        assert detector.expired(14.0) == ["a", "b"]
+
+    def test_forget_stops_tracking(self):
+        detector = FailureDetector(timeout=5.0)
+        detector.watch("a", 0.0)
+        detector.forget("a")
+        assert detector.expired(100.0) == []
+        assert "a" not in detector
+
+    def test_heartbeat_starts_tracking_unknown_viewer(self):
+        detector = FailureDetector(timeout=5.0)
+        detector.heartbeat("late", 3.0)
+        assert detector.last_seen("late") == 3.0
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FailureDetector(timeout=0.0)
+
+
+class TestAbruptDeparture:
+    def test_fail_disconnected_viewer_is_noop(self, small_system, default_view):
+        result = small_system.fail_viewer("ghost")
+        assert not result.departed
+
+    def test_failure_orphans_are_repaired(self, small_system, default_view):
+        viewers = make_viewers(12, outbound=8.0)
+        join_all(small_system, viewers, default_view)
+        # Fail a viewer that forwards streams; its children must be repaired.
+        lsc = small_system.gsc.lscs[0]
+        forwarder = next(
+            vid
+            for vid, session in lsc.sessions.items()
+            if any(session.routing_table.children_of(sid) for sid in session.subscriptions)
+        )
+        result = small_system.fail_viewer(forwarder)
+        assert result.departed
+        assert result.orphaned
+        assert result.repaired == len(result.orphaned)
+        assert result.lost_subscriptions == 0
+        assert_no_dangling_references(small_system, [forwarder])
+        assert_routing_matches_trees(small_system)
+        assert_layer_invariants(small_system)
+
+    def test_incremental_repair_prefers_p2p(self, small_system, default_view):
+        # 24 Mbps of outbound capacity gives every viewer two forwarding
+        # slots per stream, so the trees branch and keep free leaf slots.
+        viewers = make_viewers(20, outbound=24.0)
+        join_all(small_system, viewers, default_view)
+        lsc = small_system.gsc.lscs[0]
+        # Fail a forwarder deeper in the tree (not CDN-fed): the rest of the
+        # tree stays connected and must absorb the orphans without the CDN.
+        forwarder = next(
+            vid
+            for vid, session in lsc.sessions.items()
+            if any(session.routing_table.children_of(sid) for sid in session.subscriptions)
+            and not any(sub.via_cdn for sub in session.subscriptions.values())
+        )
+        result = small_system.fail_viewer(forwarder)
+        assert result.orphaned
+        assert result.repaired_p2p == len(result.orphaned)
+        assert result.repaired_cdn == 0
+
+    def test_zero_capacity_population_falls_back_to_cdn(
+        self, producers, flat_delay_model, layer_config
+    ):
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=1)
+        viewers = make_viewers(6, outbound=2.0)
+        join_all(system, viewers, views[0])
+        failed = []
+        for viewer in viewers[:3]:
+            result = system.fail_viewer(viewer.viewer_id)
+            assert result.departed
+            assert result.lost_subscriptions == 0
+            failed.append(viewer.viewer_id)
+        assert_no_dangling_references(system, failed)
+        assert_layer_invariants(system)
+
+    def test_rejoin_strategy_leaves_consistent_state(self, small_system, default_view):
+        viewers = make_viewers(15, outbound=8.0)
+        join_all(small_system, viewers, default_view)
+        lsc = small_system.gsc.lscs[0]
+        forwarder = next(
+            vid
+            for vid, session in lsc.sessions.items()
+            if any(session.routing_table.children_of(sid) for sid in session.subscriptions)
+        )
+        result = small_system.fail_viewer(forwarder, strategy=RepairStrategy.REJOIN)
+        assert result.departed
+        assert result.rejoined_viewers > 0
+        assert_no_dangling_references(small_system, [forwarder])
+        assert_layer_invariants(small_system)
+
+    def test_sequential_failures_drain_the_session(self, small_system, default_view):
+        viewers = make_viewers(10, outbound=6.0)
+        join_all(small_system, viewers, default_view)
+        for viewer in viewers:
+            small_system.fail_viewer(viewer.viewer_id)
+        assert small_system.connected_viewer_count == 0
+        assert_no_dangling_references(small_system, [v.viewer_id for v in viewers])
+        # All CDN bandwidth must have been released with the last viewer.
+        assert small_system.cdn.used_outbound_mbps == pytest.approx(0.0)
+
+    def test_metrics_record_repairs(self, small_system, default_view):
+        viewers = make_viewers(8, outbound=8.0)
+        join_all(small_system, viewers, default_view)
+        small_system.fail_viewer(viewers[0].viewer_id)
+        assert small_system.metrics.abrupt_departures == 1
+
+
+class TestTimeoutDetection:
+    def test_silent_viewers_are_swept(self, small_system, default_view):
+        viewers = make_viewers(6, outbound=6.0)
+        join_all(small_system, viewers, default_view)
+        # Everyone joined at t=0; two viewers keep their heartbeats fresh.
+        small_system.heartbeat(viewers[0].viewer_id, 30.0)
+        small_system.heartbeat(viewers[1].viewer_id, 30.0)
+        results = small_system.detect_failures(32.0)
+        departed = {r.viewer_id for r in results if r.departed}
+        assert departed == {v.viewer_id for v in viewers[2:]}
+        assert small_system.connected_viewer_count == 2
+        assert_no_dangling_references(small_system, departed)
+        assert_layer_invariants(small_system)
+
+    def test_sweep_before_timeout_is_quiet(self, small_system, default_view):
+        viewers = make_viewers(4, outbound=6.0)
+        join_all(small_system, viewers, default_view)
+        assert small_system.detect_failures(5.0) == []
+        assert small_system.connected_viewer_count == 4
+
+    def test_graceful_departure_stops_monitoring(self, small_system, default_view):
+        viewers = make_viewers(4, outbound=6.0)
+        join_all(small_system, viewers, default_view)
+        small_system.depart_viewer(viewers[0].viewer_id)
+        results = small_system.detect_failures(1000.0)
+        assert viewers[0].viewer_id not in {r.viewer_id for r in results}
+
+
+class TestLscFailover:
+    @pytest.fixture
+    def two_region_system(self, producers, layer_config):
+        viewers = [
+            Viewer(
+                viewer_id=f"viewer-{index:04d}",
+                inbound_capacity_mbps=12.0,
+                outbound_capacity_mbps=8.0,
+                region_name=f"region-{index % 2}",
+            )
+            for index in range(16)
+        ]
+        matrix = generate_planetlab_matrix(
+            [v.viewer_id for v in viewers] + ["GSC", "LSC-0", "LSC-1", "CDN"],
+            rng=SeededRandom(5),
+        )
+        delay_model = DelayModel(matrix, processing_delay=0.1, cdn_delta=60.0)
+        system = TeleCastSystem(
+            producers, CDN(10_000.0), delay_model, layer_config, num_lscs=2
+        )
+        views = build_views(producers, num_views=2)
+        for viewer in viewers:
+            assert system.join_viewer(viewer, views[0]).accepted
+        return system, viewers
+
+    def test_failover_migrates_viewers(self, two_region_system):
+        system, viewers = two_region_system
+        before = system.connected_viewer_count
+        moved = len(system.gsc.lsc("LSC-0").sessions)
+        result = system.fail_lsc("LSC-0")
+        assert result.target_lsc_id == "LSC-1"
+        assert result.migrated_viewers == moved
+        assert result.lost_viewers == 0
+        assert result.reassigned_regions == ("region-0",)
+        assert system.connected_viewer_count == before
+        assert len(system.gsc.lsc("LSC-1").sessions) == before
+        assert_layer_invariants(system)
+
+    def test_failover_redirects_future_joins(self, two_region_system, producers):
+        system, _ = two_region_system
+        system.fail_lsc("LSC-0")
+        views = build_views(producers, num_views=2)
+        late = Viewer(
+            viewer_id="late-viewer",
+            inbound_capacity_mbps=12.0,
+            outbound_capacity_mbps=8.0,
+            region_name="region-0",
+        )
+        assert system.join_viewer(late, views[0]).accepted
+        assert system.lsc_of("late-viewer").lsc_id == "LSC-1"
+
+    def test_failover_releases_failed_regions_cdn_share(self, two_region_system):
+        system, _ = two_region_system
+        system.fail_lsc("LSC-0")
+        # The CDN reservations now on the books must exactly match the live
+        # CDN-fed subscriptions; nothing leaked from the failed controller.
+        via_cdn_mbps = sum(
+            sub.bandwidth_mbps
+            for lsc in system.gsc.lscs
+            for session in lsc.sessions.values()
+            for sub in session.subscriptions.values()
+            if sub.via_cdn
+        )
+        assert system.cdn.used_outbound_mbps == pytest.approx(via_cdn_mbps)
+
+    def test_failover_without_survivor_loses_region(
+        self, producers, flat_delay_model, layer_config
+    ):
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=1)
+        viewers = make_viewers(4, outbound=6.0)
+        join_all(system, viewers, views[0])
+        result = system.fail_lsc("LSC-0")
+        assert result.target_lsc_id is None
+        assert result.lost_viewers == 4
+        assert system.cdn.used_outbound_mbps == pytest.approx(0.0)
+
+    def test_failover_of_unknown_lsc_raises(self, small_system):
+        with pytest.raises(KeyError):
+            small_system.fail_lsc("LSC-99")
+
+    def test_lost_failover_viewers_leave_request_accounting(
+        self, producers, flat_delay_model, layer_config
+    ):
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=1)
+        viewers = make_viewers(4, outbound=6.0)
+        join_all(system, viewers, views[0])
+        system.fail_lsc("LSC-0")  # no surviving LSC: every viewer is lost
+        snapshot = system.snapshot()
+        assert snapshot.num_requests == 0
+        assert snapshot.accepted_stream_counts == {}
+
+
+class TestChurnSchedules:
+    def _base(self, num_viewers=30, seed=3):
+        workload = ViewerWorkload(
+            WorkloadConfig(num_viewers=num_viewers, num_views=2),
+            rng=SeededRandom(seed),
+        )
+        viewers = workload.viewers()
+        return viewers, workload.events(viewers)
+
+    def test_fail_event_kind_is_valid(self):
+        event = ViewerEvent(time=1.0, kind="fail", viewer_id="v")
+        assert event.kind == "fail"
+        with pytest.raises(ValueError):
+            ViewerEvent(time=1.0, kind="explode", viewer_id="v")
+
+    def test_poisson_failures_only_hit_connected_viewers(self):
+        viewers, base = self._base()
+        churn = ChurnWorkload(ChurnConfig.poisson(0.5, duration=100.0), rng=SeededRandom(9))
+        events = churn.events(base)
+        alive = set()
+        for event in events:
+            if event.kind == "join":
+                assert event.viewer_id not in alive
+                alive.add(event.viewer_id)
+            elif event.kind in ("fail", "depart"):
+                assert event.viewer_id in alive
+                alive.remove(event.viewer_id)
+        fails = [e for e in events if e.kind == "fail"]
+        assert fails, "poisson churn should generate failures"
+
+    def test_schedules_are_deterministic(self):
+        _, base = self._base()
+        config = ChurnConfig.flash_crowd_mix(0.4, duration=120.0)
+        first = ChurnWorkload(config, rng=SeededRandom(4)).events(base)
+        second = ChurnWorkload(config, rng=SeededRandom(4)).events(base)
+        assert first == second
+
+    def test_same_timestamp_join_precedes_failure(self):
+        # A mass-leave coinciding exactly with a join must still kill the
+        # joining viewer: causal order (join before fail) in the schedule.
+        base = [ViewerEvent(time=10.0, kind="join", viewer_id="v-a")]
+        churn = ChurnWorkload(
+            ChurnConfig.mass_leave(10.0, 1.0, duration=100.0), rng=SeededRandom(1)
+        )
+        events = churn.events(base)
+        assert [e.kind for e in events] == ["join", "fail"]
+
+    def test_same_timestamp_mass_leave_disconnects_viewer(
+        self, producers, flat_delay_model, layer_config
+    ):
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=1)
+        viewers = make_viewers(5, outbound=6.0)
+        base = [
+            ViewerEvent(time=10.0, kind="join", viewer_id=v.viewer_id) for v in viewers
+        ]
+        churn = ChurnWorkload(
+            ChurnConfig.mass_leave(10.0, 1.0, duration=100.0), rng=SeededRandom(1)
+        )
+        system.run_workload(viewers, churn.events(base), views)
+        assert system.connected_viewer_count == 0
+
+    def test_mass_leave_past_horizon_is_dropped(self):
+        _, base = self._base()
+        churn = ChurnWorkload(
+            ChurnConfig(mass_leave_time=500.0, mass_leave_fraction=0.5, duration=300.0),
+            rng=SeededRandom(1),
+        )
+        events = churn.events(base)
+        assert not [e for e in events if e.kind == "fail"]
+
+    def test_mass_leave_takes_expected_fraction(self):
+        viewers, base = self._base(num_viewers=40)
+        churn = ChurnWorkload(
+            ChurnConfig.mass_leave(10.0, 0.5, duration=100.0), rng=SeededRandom(9)
+        )
+        events = churn.events(base)
+        fails = [e for e in events if e.kind == "fail"]
+        assert len(fails) == 20
+        assert all(e.time == 10.0 for e in fails)
+
+    def test_rejoins_reuse_the_departed_view(self):
+        viewers, base = self._base()
+        view_at_join = {e.viewer_id: e.view_index for e in base if e.kind == "join"}
+        churn = ChurnWorkload(
+            ChurnConfig.flash_crowd_mix(1.0, rejoin_delay_mean=5.0, duration=150.0),
+            rng=SeededRandom(2),
+        )
+        events = churn.events(base)
+        rejoins = [
+            e for e in events if e.kind == "join" and e not in base
+        ]
+        assert rejoins, "flash-crowd mix should generate rejoins"
+        for event in rejoins:
+            assert event.view_index == view_at_join[event.viewer_id]
+
+    def test_mass_leave_then_flash_crowd_converges(
+        self, producers, flat_delay_model, layer_config
+    ):
+        """The acceptance scenario: a mass-leave followed by a rejoin flash crowd."""
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=2)
+        viewers = make_viewers(40, outbound=8.0)
+        events = [
+            ViewerEvent(time=0.0, kind="join", viewer_id=v.viewer_id) for v in viewers
+        ]
+        # Half the population crashes at t=50...
+        events += [
+            ViewerEvent(time=50.0, kind="fail", viewer_id=v.viewer_id)
+            for v in viewers[:20]
+        ]
+        # ...and storms back in a single flash crowd at t=60.
+        events += [
+            ViewerEvent(time=60.0, kind="join", viewer_id=v.viewer_id)
+            for v in viewers[:20]
+        ]
+        system.run_workload(viewers, events, views)
+        assert system.connected_viewer_count == 40
+        assert_no_dangling_references(system, [])
+        assert_routing_matches_trees(system)
+        assert_layer_invariants(system)
+
+    def test_churned_workload_leaves_no_dangling_state(
+        self, producers, flat_delay_model, layer_config
+    ):
+        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        views = build_views(producers, num_views=2)
+        viewers, base = self._base(num_viewers=30)
+        churn = ChurnWorkload(
+            ChurnConfig.flash_crowd_mix(0.5, rejoin_delay_mean=10.0, duration=120.0),
+            rng=SeededRandom(6),
+        )
+        events = churn.events(base)
+        system.run_workload(viewers, events, views)
+        connected = {
+            vid for lsc in system.gsc.lscs for vid in lsc.sessions
+        }
+        gone = {v.viewer_id for v in viewers} - connected
+        assert_no_dangling_references(system, gone)
+        assert_routing_matches_trees(system)
+        assert_layer_invariants(system)
+        assert system.metrics.abrupt_departures > 0

@@ -79,9 +79,38 @@ class TestCancellation:
     def test_cancel_is_idempotent(self):
         sim = Simulator()
         handle = sim.schedule(1.0, lambda: None)
-        handle.cancel()
-        handle.cancel()
+        assert handle.cancel() is True
+        assert handle.cancel() is False
         assert sim.run() == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        assert sim.run() == 1
+        assert handle.fired
+        assert handle.cancel() is False
+        assert not handle.cancelled
+        assert handle.fired
+        assert fired == ["x"]
+
+    def test_cancel_within_callback_of_same_time(self):
+        # Two events at the same timestamp: the first cancels the second,
+        # which must then be skipped even though it was already queued.
+        sim = Simulator()
+        fired = []
+        second = sim.schedule(1.0, lambda: fired.append("second"))
+        first = sim.schedule(0.5, lambda: second.cancel())
+        sim.run()
+        assert fired == []
+        assert first.fired and not second.fired
+
+    def test_fired_flag_tracks_execution(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert not handle.fired
+        sim.run()
+        assert handle.fired
 
     def test_handle_exposes_time(self):
         sim = Simulator()
