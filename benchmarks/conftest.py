@@ -36,12 +36,7 @@ def bench_config() -> ExperimentConfig:
     the capped experiments keep the paper's supply/demand balance
     (6000 Mbps for 1000 viewers).
     """
-    viewers = _bench_viewers()
-    scale = viewers / PAPER_CONFIG.num_viewers
-    return PAPER_CONFIG.with_(
-        num_viewers=viewers,
-        cdn_capacity_mbps=PAPER_CONFIG.cdn_capacity_mbps * scale,
-    )
+    return PAPER_CONFIG.with_scaled_population(_bench_viewers())
 
 
 @pytest.fixture(scope="session")

@@ -613,9 +613,11 @@ class GlobalSessionController:
     def remove_lsc(self, lsc_id: str) -> LocalSessionController:
         """Unregister an LSC (controller failure) and return its last state.
 
-        Region mappings pointing at the removed LSC are left in place; the
-        failover path (:func:`repro.core.recovery.failover_lsc`) repoints
-        them via :meth:`reassign_regions` once a target is chosen.
+        Region mappings pointing at the removed LSC are left in place so
+        the failover path (:func:`repro.core.recovery.failover_lsc`) can
+        repoint them via :meth:`reassign_regions` once a target is chosen.
+        Until then :meth:`lsc_for_viewer` treats such mappings as stale and
+        falls back to the nearest surviving LSC instead of the dead id.
         """
         if lsc_id not in self._lscs:
             raise KeyError(f"unknown LSC {lsc_id!r}")
@@ -659,12 +661,24 @@ class GlobalSessionController:
         return affected
 
     def lsc_for_viewer(self, viewer: Viewer) -> LocalSessionController:
-        """Pick the LSC of the viewer's region (first LSC when unmapped)."""
+        """Pick the LSC of the viewer's region (first LSC when unmapped).
+
+        A region mapping left behind by a removed LSC is *stale*: instead
+        of resolving to the dead id, the join falls back to the nearest
+        surviving LSC (by propagation delay from the viewer) and the
+        mapping is healed so subsequent joins of the region resolve
+        directly.
+        """
         if not self._lscs:
             raise RuntimeError("no LSC registered with the GSC")
         lsc_id = self._region_to_lsc.get(viewer.region_name)
         if lsc_id is None:
             return next(iter(self._lscs.values()))
+        if lsc_id not in self._lscs:
+            survivor = self.nearest_lsc_to(viewer.node_id)
+            assert survivor is not None  # self._lscs is non-empty
+            self._region_to_lsc[viewer.region_name] = survivor.lsc_id
+            return survivor
         return self._lscs[lsc_id]
 
     def lsc_of_connected_viewer(self, viewer_id: str) -> Optional[LocalSessionController]:

@@ -93,11 +93,14 @@ class TeleCastSystem:
         layer_config: Optional[DelayLayerConfig] = None,
         *,
         num_lscs: int = 1,
+        lsc_regions: Optional[Sequence[Sequence[str]]] = None,
         simulator: Optional[Simulator] = None,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
     ) -> None:
         if not producers:
             raise ValueError("at least one producer site is required")
+        if lsc_regions is not None:
+            num_lscs = len(lsc_regions)
         if num_lscs <= 0:
             raise ValueError("num_lscs must be > 0")
         self.producers = list(producers)
@@ -114,9 +117,16 @@ class TeleCastSystem:
         self._adaptation: Dict[str, AdaptationManager] = {}
         self._recovery: Dict[str, RecoveryManager] = {}
         self._heartbeat_timeout = heartbeat_timeout
-        region_names = self._region_names(num_lscs)
-        for index in range(num_lscs):
-            lsc = self.gsc.add_lsc(f"LSC-{index}", region_name=region_names[index])
+        if lsc_regions is None:
+            region_groups: List[Sequence[str]] = [
+                [name] if name else [] for name in self._region_names(num_lscs)
+            ]
+        else:
+            region_groups = [list(group) for group in lsc_regions]
+        for index, group in enumerate(region_groups):
+            lsc = self.gsc.add_lsc(f"LSC-{index}")
+            for region_name in group:
+                self.gsc.add_lsc(lsc.lsc_id, region_name=region_name)
             self._adaptation[lsc.lsc_id] = AdaptationManager(lsc)
             self._recovery[lsc.lsc_id] = RecoveryManager(
                 lsc, heartbeat_timeout=heartbeat_timeout
@@ -366,6 +376,10 @@ class TeleCastSystem:
     def lsc_of(self, viewer_id: str) -> Optional[LocalSessionController]:
         """The LSC a connected viewer belongs to (``None`` when not connected)."""
         return self.gsc.lsc_of_connected_viewer(viewer_id)
+
+    def viewers_per_lsc(self) -> Dict[str, int]:
+        """Connected viewer count of every registered LSC (by LSC id)."""
+        return {lsc.lsc_id: len(lsc.sessions) for lsc in self.gsc.lscs}
 
     @property
     def connected_viewer_count(self) -> int:

@@ -4,11 +4,21 @@
 :mod:`repro.experiments.runner` builds and runs one simulated session;
 :mod:`repro.experiments.figures` regenerates the data series of every
 figure of the evaluation; :mod:`repro.experiments.reporting` renders those
-series as the text tables the benchmark harness prints.
+series as the text tables the benchmark harness prints;
+:mod:`repro.experiments.sweep` runs declarative parameter sweeps
+process-parallel with persistent JSONL results and regression reports.
 """
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
-from repro.experiments.runner import ScenarioResult, run_random_scenario, run_telecast_scenario
+from repro.experiments.runner import (
+    Scenario,
+    ScenarioResult,
+    build_scenario,
+    build_telecast_system,
+    run_random_scenario,
+    run_telecast_scenario,
+)
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.experiments.figures import (
     figure_13a_cdn_bandwidth,
     figure_13b_cdn_fraction,
@@ -23,8 +33,13 @@ from repro.experiments.figures import (
 __all__ = [
     "ExperimentConfig",
     "PAPER_CONFIG",
+    "Scenario",
     "ScenarioResult",
+    "SweepSpec",
+    "build_scenario",
+    "build_telecast_system",
     "run_random_scenario",
+    "run_sweep",
     "run_telecast_scenario",
     "figure_13a_cdn_bandwidth",
     "figure_13b_cdn_fraction",

@@ -1,22 +1,28 @@
-"""Command-line entry point: regenerate any figure of the evaluation.
+"""Command-line entry point: figures, parameter sweeps and comparisons.
 
 Examples::
 
     python -m repro.experiments --list
     python -m repro.experiments 14a
     python -m repro.experiments 13c --viewers 400 --step 100
-    python -m repro.experiments 15b --viewers 600
+    python -m repro.experiments sweep --list
+    python -m repro.experiments sweep smoke --jobs 2
+    python -m repro.experiments sweep scale --viewers 600 --step 100 --jobs 4
+    python -m repro.experiments compare results/smoke.jsonl \\
+        --baseline results/baseline_smoke.jsonl
 
-The output is the same text table the benchmark harness prints, so figures
-can be regenerated (e.g. at a different scale) without going through
-pytest.
+Figure mode prints the same text table the benchmark harness prints, so
+figures can be regenerated (e.g. at a different scale) without going
+through pytest.  ``sweep`` runs a named parameter sweep process-parallel
+and appends one JSONL record per point under ``results/``; ``compare``
+diffs two results files and exits non-zero on regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
 from repro.experiments.figures import (
@@ -30,6 +36,15 @@ from repro.experiments.figures import (
     figure_15b_vs_random_scale,
 )
 from repro.experiments.reporting import format_distribution_figure, format_scaling_figure
+from repro.experiments.sweep import (
+    ResultsStore,
+    compare_records,
+    format_compare_report,
+    load_records,
+    named_sweeps,
+    run_sweep,
+)
+from repro.experiments.sweep.compare import DEFAULT_TOLERANCE
 
 #: Figure id -> (description, renderer) registry.
 _FIGURES: Dict[str, str] = {
@@ -45,11 +60,7 @@ _FIGURES: Dict[str, str] = {
 
 
 def _scaled_config(args: argparse.Namespace) -> ExperimentConfig:
-    scale = args.viewers / PAPER_CONFIG.num_viewers
-    return PAPER_CONFIG.with_(
-        num_viewers=args.viewers,
-        cdn_capacity_mbps=PAPER_CONFIG.cdn_capacity_mbps * scale,
-    )
+    return PAPER_CONFIG.with_scaled_population(args.viewers)
 
 
 def render_figure(figure_id: str, config: ExperimentConfig, step: int) -> str:
@@ -103,13 +114,186 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``sweep`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Run a named parameter sweep, optionally process-parallel.",
+    )
+    parser.add_argument("name", nargs="?", help="sweep name, e.g. smoke, scale")
+    parser.add_argument(
+        "--viewers", type=int, default=400, help="population scale of the sweep"
+    )
+    parser.add_argument(
+        "--step", type=int, default=100, help="population step of the scale sweep"
+    )
+    parser.add_argument(
+        "--lscs", type=int, default=3, help="number of region-sharded LSCs"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    parser.add_argument(
+        "--results",
+        default="results",
+        help="directory for the JSONL records (default: results/)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", help="run without persisting records"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSONL file to compare against after the run (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the available sweeps and exit"
+    )
+    return parser
+
+
+def build_compare_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``compare`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments compare",
+        description="Diff two sweep results files; exit 1 on regression.",
+    )
+    parser.add_argument("current", help="JSONL results file of the current run")
+    parser.add_argument(
+        "--baseline", required=True, help="JSONL results file of the baseline"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed drop of quality metrics (default: %(default)s)",
+    )
+    return parser
+
+
+#: Scale flags each named sweep does NOT honor (and why): ``smoke`` is
+#: pinned so the checked-in baseline stays comparable, ``shards`` sweeps
+#: the LSC count itself, ``bandwidth``'s axis is the outbound setting.
+_SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
+    "smoke": {
+        "--viewers": "fixed-scale CI grid",
+        "--step": "fixed-scale CI grid",
+        "--lscs": "fixed-scale CI grid",
+    },
+    "shards": {"--lscs": "the sweep varies num_lscs itself", "--step": "no population axis"},
+    "bandwidth": {"--step": "no population axis"},
+}
+
+
+def _ignored_sweep_flags(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> List[tuple]:
+    """(flag, reason) pairs for non-default flags the chosen sweep ignores."""
+    values = {"--viewers": args.viewers, "--step": args.step, "--lscs": args.lscs}
+    ignored = []
+    for flag, reason in _SWEEP_IGNORED_FLAGS.get(args.name, {}).items():
+        default = parser.get_default(flag.lstrip("-"))
+        if values[flag] != default:
+            ignored.append((flag, reason))
+    return ignored
+
+
+def _sweep_main(argv: List[str]) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.viewers <= 0:
+        parser.error("--viewers must be > 0")
+    if args.lscs <= 0:
+        parser.error("--lscs must be > 0")
+    sweeps = named_sweeps(
+        viewers=args.viewers, step=max(10, args.step), num_lscs=args.lscs
+    )
+    if args.list or not args.name:
+        for name, spec in sorted(sweeps.items()):
+            print(f"  {name}: {spec.num_points()} points ({', '.join(spec.systems)})")
+        return 0
+    if args.name not in sweeps:
+        parser.error(f"unknown sweep {args.name!r}; use --list to see the options")
+    for flag, reason in _ignored_sweep_flags(args, parser):
+        print(f"note: sweep {args.name!r} ignores {flag} ({reason})")
+    spec = sweeps[args.name]
+    store = None if args.no_store else ResultsStore(args.results)
+    result = run_sweep(
+        spec,
+        jobs=max(1, args.jobs),
+        store=store,
+        progress=lambda point: print(
+            f"  {point.point_id}: "
+            + (
+                f"acceptance={point.metrics.get('acceptance_ratio', float('nan')):.4f} "
+                f"({point.wall_clock_s:.2f}s)"
+                if point.ok
+                else "FAILED"
+            )
+        ),
+    )
+    failed = result.failed()
+    print(
+        f"sweep {spec.name}: {len(result.ok())}/{len(result.results)} points ok, "
+        f"{result.wall_clock_s:.2f}s wall clock with --jobs {result.jobs}"
+    )
+    for point in failed:
+        print(f"  FAILED {point.point_id}:")
+        print("    " + point.error.strip().splitlines()[-1])
+    for path in result.stored_in:
+        print(f"  records appended to {path}")
+    if args.baseline:
+        current_records = [
+            point.to_record("(unstored)", 0.0) for point in result.results
+        ]
+        report = compare_records(
+            load_records(args.baseline),
+            current_records,
+            baseline_label=args.baseline,
+            current_label=f"sweep {spec.name}",
+        )
+        print(format_compare_report(report))
+        if not report.ok:
+            return 1
+    return 1 if failed else 0
+
+
+def _compare_main(argv: List[str]) -> int:
+    parser = build_compare_parser()
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    if not baseline:
+        parser.error(f"no records in baseline {args.baseline!r}")
+    if not current:
+        parser.error(f"no records in {args.current!r}")
+    report = compare_records(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        baseline_label=args.baseline,
+        current_label=args.current,
+    )
+    print(format_compare_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "sweep":
+        return _sweep_main(arguments[1:])
+    if arguments and arguments[0] == "compare":
+        return _compare_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.list or not args.figure:
         for figure_id, description in sorted(_FIGURES.items()):
             print(f"  {figure_id}: {description}")
+        print("  sweep: run a named parameter sweep (see `sweep --list`)")
+        print("  compare: diff two sweep results files")
         return 0
     figure_id = args.figure.lower().lstrip("fig").lstrip(".")
     if figure_id not in _FIGURES:

@@ -77,6 +77,12 @@ class ExperimentConfig:
     #: Heartbeat timeout of the per-LSC failure detectors.
     heartbeat_timeout: float = 10.0
 
+    # Control plane.
+    #: Number of Local Session Controllers; with more than one, the
+    #: latency trace's geographic regions are sharded across them and
+    #: every viewer joins through the LSC of its region (Section III).
+    num_lscs: int = 1
+
     # Reproducibility.
     seed: int = 7
     latency_seed: int = 3
@@ -87,6 +93,7 @@ class ExperimentConfig:
         require_positive(self.num_viewers, "num_viewers")
         require_positive(self.num_views, "num_views")
         require_positive(self.stream_bandwidth_mbps, "stream_bandwidth_mbps")
+        require_positive(self.num_lscs, "num_lscs")
         if self.d_max <= self.cdn_delta:
             raise ValueError("d_max must exceed the CDN delay Delta")
 
@@ -118,6 +125,19 @@ class ExperimentConfig:
         """Copy with a different viewer population size."""
         return self.with_(num_viewers=num_viewers)
 
+    def with_scaled_population(self, num_viewers: int, **overrides) -> "ExperimentConfig":
+        """Copy at a different population with the CDN cap scaled along.
+
+        Keeps the paper's supply/demand balance (6000 Mbps per 1000
+        viewers) so capped experiments stay comparable across scales.
+        An unbounded CDN stays unbounded.
+        """
+        require_positive(num_viewers, "num_viewers")
+        capacity = self.cdn_capacity_mbps * num_viewers / self.num_viewers
+        return self.with_(
+            num_viewers=num_viewers, cdn_capacity_mbps=capacity, **overrides
+        )
+
     def with_outbound(self, distribution: BandwidthDistribution) -> "ExperimentConfig":
         """Copy with a different outbound-capacity distribution."""
         return self.with_(outbound=distribution)
@@ -129,6 +149,10 @@ class ExperimentConfig:
     def with_churn(self, churn: ChurnConfig) -> "ExperimentConfig":
         """Copy with a churn overlay applied to the workload schedule."""
         return self.with_(churn=churn)
+
+    def with_lscs(self, num_lscs: int) -> "ExperimentConfig":
+        """Copy with the control plane sharded across ``num_lscs`` LSCs."""
+        return self.with_(num_lscs=num_lscs)
 
 
 #: The defaults of Section VII with a bounded 6000 Mbps CDN.

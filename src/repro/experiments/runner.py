@@ -1,29 +1,69 @@
 """Build and run one simulated dissemination scenario.
 
 A *scenario* is one viewer population with one bandwidth distribution run
-against either 4D TeleCast or the Random baseline.  The runner constructs
-every substrate (producers, CDN, synthetic PlanetLab latencies, workload),
-replays the join/view-change/departure schedule, and returns the collected
-metrics plus periodic snapshots so the scaling figures can read one curve
-off a single run.
+against either 4D TeleCast or the Random baseline.  :func:`build_scenario`
+constructs every substrate exactly once -- producers, CDN, synthetic
+PlanetLab latencies (with every control node present in the matrix),
+region-sharded LSC assignments and the workload schedule -- and both
+runners consume the same :class:`Scenario`, so a sweep point never builds
+its substrates twice.
+
+With ``config.num_lscs > 1`` the latency trace's geographic regions are
+clustered into one shard per Local Session Controller
+(:func:`repro.net.regions.shard_regions`); every viewer carries the region
+label of its latency-matrix node and joins through the LSC of its region,
+which is how the paper scales the control plane (Section III).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.random_routing import RandomDisseminationSystem
 from repro.core.telecast import TeleCastSystem, build_views
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import SessionMetrics, SystemSnapshot
 from repro.model.cdn import CDN
-from repro.model.producer import make_default_producers
+from repro.model.producer import ProducerSite, make_default_producers
 from repro.model.view import GlobalView
+from repro.model.viewer import Viewer
 from repro.net.latency import DelayModel
-from repro.net.planetlab import generate_planetlab_matrix
+from repro.net.planetlab import (
+    DEFAULT_REGION_NAMES,
+    PlanetLabTraceConfig,
+    generate_planetlab_matrix,
+)
+from repro.net.regions import shard_regions
 from repro.sim.rng import SeededRandom
-from repro.traces.workload import ChurnWorkload, ViewerWorkload, WorkloadConfig
+from repro.traces.workload import ChurnWorkload, ViewerEvent, ViewerWorkload, WorkloadConfig
+
+
+@dataclass
+class Scenario:
+    """Every substrate one scenario run needs, built exactly once.
+
+    ``lsc_regions`` holds, per LSC index, the region names that LSC
+    serves; ``control_node_ids`` lists the GSC, every LSC and the CDN in
+    the order they were inserted into the latency matrix.
+    """
+
+    config: ExperimentConfig
+    viewers: List[Viewer]
+    events: List[ViewerEvent]
+    producers: List[ProducerSite]
+    delay_model: DelayModel
+    cdn: CDN
+    views: List[GlobalView]
+    lsc_regions: Tuple[Tuple[str, ...], ...]
+    control_node_ids: Tuple[str, ...]
+
+    def viewers_by_region(self) -> Dict[str, List[str]]:
+        """Viewer ids grouped by the region label they were assigned."""
+        grouped: Dict[str, List[str]] = {}
+        for viewer in self.viewers:
+            grouped.setdefault(viewer.region_name, []).append(viewer.viewer_id)
+        return grouped
 
 
 @dataclass
@@ -34,6 +74,9 @@ class ScenarioResult:
     metrics: SessionMetrics
     final_snapshot: SystemSnapshot
     cdn_outbound_mbps: float
+    #: Connected viewers per LSC id at the end of the run (TeleCast only;
+    #: the Random baseline has no LSC control plane).
+    viewers_per_lsc: Dict[str, int] = field(default_factory=dict)
 
     @property
     def acceptance_ratio(self) -> float:
@@ -68,21 +111,42 @@ def _build_workload(config: ExperimentConfig):
     return viewers, events
 
 
-def _build_substrates(config: ExperimentConfig, viewers):
+def _region_names_for(config: ExperimentConfig) -> Sequence[str]:
+    """Region labels of the latency trace, widened when LSCs outnumber them."""
+    if config.num_lscs <= len(DEFAULT_REGION_NAMES):
+        return DEFAULT_REGION_NAMES
+    return tuple(f"geo-{index}" for index in range(config.num_lscs))
+
+
+def build_scenario(config: ExperimentConfig) -> Scenario:
+    """Construct all substrates of one scenario (shared by both runners).
+
+    Controllers and the CDN are network endpoints too; including them in
+    the synthetic trace gives per-viewer control-plane delays
+    (Figure 14(c)) a realistic spread instead of a constant default.
+    Every viewer is stamped with the region label of its latency-matrix
+    node so the GSC's region-based LSC assignment operates on real trace
+    geography.
+    """
+    viewers, events = _build_workload(config)
     producers = make_default_producers(
         config.num_sites,
         config.cameras_per_site,
         stream_bandwidth_mbps=config.stream_bandwidth_mbps,
         frame_rate=config.frame_rate,
     )
-    # Controllers and the CDN are network endpoints too; including them in
-    # the synthetic trace gives per-viewer control-plane delays (Figure 14(c))
-    # a realistic spread instead of a constant default.
-    control_nodes = ["GSC", "LSC-0", "CDN"]
+    control_nodes = (
+        ["GSC"] + [f"LSC-{index}" for index in range(config.num_lscs)] + ["CDN"]
+    )
+    region_names = _region_names_for(config)
     matrix = generate_planetlab_matrix(
         [viewer.viewer_id for viewer in viewers] + control_nodes,
         rng=SeededRandom(config.latency_seed),
+        config=PlanetLabTraceConfig(region_names=region_names),
     )
+    for viewer in viewers:
+        viewer.region_name = matrix.regions.region_of(viewer.viewer_id).name
+    lsc_regions = shard_regions(region_names, config.num_lscs)
     delay_model = DelayModel(
         matrix,
         processing_delay=config.processing_delay,
@@ -95,57 +159,89 @@ def _build_substrates(config: ExperimentConfig, viewers):
         num_views=config.num_views,
         streams_per_site=config.streams_per_site_in_view,
     )
-    return producers, delay_model, cdn, views
+    return Scenario(
+        config=config,
+        viewers=viewers,
+        events=events,
+        producers=producers,
+        delay_model=delay_model,
+        cdn=cdn,
+        views=views,
+        lsc_regions=lsc_regions,
+        control_node_ids=tuple(control_nodes),
+    )
+
+
+def build_telecast_system(scenario: Scenario) -> TeleCastSystem:
+    """Instantiate the 4D TeleCast control plane over a built scenario."""
+    config = scenario.config
+    return TeleCastSystem(
+        scenario.producers,
+        scenario.cdn,
+        scenario.delay_model,
+        config.layer_config(),
+        lsc_regions=scenario.lsc_regions,
+        heartbeat_timeout=config.heartbeat_timeout,
+    )
 
 
 def run_telecast_scenario(
-    config: ExperimentConfig, *, snapshot_every: Optional[int] = 100
+    config: ExperimentConfig,
+    *,
+    snapshot_every: Optional[int] = 100,
+    scenario: Optional[Scenario] = None,
 ) -> ScenarioResult:
-    """Run one scenario through 4D TeleCast."""
-    viewers, events = _build_workload(config)
-    producers, delay_model, cdn, views = _build_substrates(config, viewers)
-    system = TeleCastSystem(
-        producers,
-        cdn,
-        delay_model,
-        config.layer_config(),
-        heartbeat_timeout=config.heartbeat_timeout,
+    """Run one scenario through 4D TeleCast.
+
+    Pass a prebuilt ``scenario`` to reuse substrates across systems (the
+    scenario must have been built from the same ``config``); note a
+    scenario is stateful (CDN reservations, viewer buffers) and can only
+    be run once.
+    """
+    if scenario is None:
+        scenario = build_scenario(config)
+    system = build_telecast_system(scenario)
+    metrics = system.run_workload(
+        scenario.viewers, scenario.events, scenario.views, snapshot_every=snapshot_every
     )
-    metrics = system.run_workload(viewers, events, views, snapshot_every=snapshot_every)
     return ScenarioResult(
         config=config,
         metrics=metrics,
         final_snapshot=system.snapshot(),
-        cdn_outbound_mbps=cdn.used_outbound_mbps,
+        cdn_outbound_mbps=scenario.cdn.used_outbound_mbps,
+        viewers_per_lsc=system.viewers_per_lsc(),
     )
 
 
 def run_random_scenario(
-    config: ExperimentConfig, *, snapshot_every: Optional[int] = 100
+    config: ExperimentConfig,
+    *,
+    snapshot_every: Optional[int] = 100,
+    scenario: Optional[Scenario] = None,
 ) -> ScenarioResult:
     """Run the same scenario through the Random dissemination baseline."""
-    viewers, events = _build_workload(config)
-    producers, delay_model, cdn, views = _build_substrates(config, viewers)
+    if scenario is None:
+        scenario = build_scenario(config)
     system = RandomDisseminationSystem(
-        producers,
-        cdn,
-        delay_model,
+        scenario.producers,
+        scenario.cdn,
+        scenario.delay_model,
         config.layer_config(),
         rng=SeededRandom(config.baseline_seed),
         probe_count=config.random_probe_count,
         strict_admission=config.random_strict_admission,
     )
-    by_id = {viewer.viewer_id: viewer for viewer in viewers}
+    by_id = {viewer.viewer_id: viewer for viewer in scenario.viewers}
     joins_seen = 0
     seen_joins = set()
-    for event in events:
+    for event in scenario.events:
         if event.kind != "join" or event.viewer_id in seen_joins:
             # The baseline models only joins; view change, departure and
             # churn dynamics (including rejoins) are a 4D TeleCast
             # capability.
             continue
         seen_joins.add(event.viewer_id)
-        view = views[event.view_index % len(views)]
+        view = scenario.views[event.view_index % len(scenario.views)]
         system.join_viewer(by_id[event.viewer_id], view, event.time)
         joins_seen += 1
         if snapshot_every and joins_seen % snapshot_every == 0:
@@ -155,5 +251,5 @@ def run_random_scenario(
         config=config,
         metrics=system.metrics,
         final_snapshot=system.snapshot(),
-        cdn_outbound_mbps=cdn.used_outbound_mbps,
+        cdn_outbound_mbps=scenario.cdn.used_outbound_mbps,
     )

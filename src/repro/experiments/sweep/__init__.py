@@ -1,0 +1,75 @@
+"""Parameter sweeps at scale: declarative grids, parallel execution,
+persistent results and regression comparison.
+
+The paper's evaluation is a family of parameter sweeps (audience size,
+outbound bandwidth, CDN capacity -- Section VII, Figures 13-15).  This
+subsystem makes such families first-class:
+
+* :mod:`~repro.experiments.sweep.grid` -- :class:`SweepSpec` declares a
+  cartesian grid plus explicit points over :class:`ExperimentConfig`,
+  with stable per-point seed derivation and config hashing,
+* :mod:`~repro.experiments.sweep.executor` -- :func:`run_sweep` fans the
+  points out over worker processes with per-point failure capture,
+* :mod:`~repro.experiments.sweep.store` -- append-only JSONL records
+  under ``results/`` carrying config hash, git describe and the full
+  metrics summary,
+* :mod:`~repro.experiments.sweep.compare` -- point-by-point regression
+  reports against a stored baseline,
+* :mod:`~repro.experiments.sweep.presets` -- the named sweep families
+  behind ``python -m repro.experiments sweep``.
+"""
+
+from repro.experiments.sweep.compare import (
+    CompareReport,
+    DEFAULT_TOLERANCE,
+    PointComparison,
+    compare_records,
+    format_compare_report,
+)
+from repro.experiments.sweep.executor import PointResult, SweepResult, execute_point, run_sweep
+from repro.experiments.sweep.grid import (
+    SweepPoint,
+    SweepSpec,
+    config_hash,
+    derive_seed_offset,
+)
+from repro.experiments.sweep.presets import (
+    bandwidth_sweep,
+    named_sweeps,
+    scale_sweep,
+    shard_sweep,
+    smoke_sweep,
+)
+from repro.experiments.sweep.store import (
+    ResultsStore,
+    SweepRecord,
+    git_describe,
+    latest_generation,
+    load_records,
+)
+
+__all__ = [
+    "CompareReport",
+    "DEFAULT_TOLERANCE",
+    "PointComparison",
+    "PointResult",
+    "ResultsStore",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepResult",
+    "SweepSpec",
+    "bandwidth_sweep",
+    "compare_records",
+    "config_hash",
+    "derive_seed_offset",
+    "execute_point",
+    "format_compare_report",
+    "git_describe",
+    "latest_generation",
+    "load_records",
+    "named_sweeps",
+    "run_sweep",
+    "scale_sweep",
+    "shard_sweep",
+    "smoke_sweep",
+]

@@ -1,0 +1,209 @@
+"""Declarative parameter grids over :class:`ExperimentConfig`.
+
+A :class:`SweepSpec` names a family of scenarios the way the paper's
+evaluation does (Section VII sweeps audience size, outbound bandwidth and
+CDN capacity): a base configuration, a cartesian ``grid`` of field
+overrides, an optional list of explicit ``points``, and the system(s) --
+4D TeleCast and/or the Random baseline -- each point runs against.
+
+Expansion is fully deterministic: points are ordered grid-first (axes in
+sorted name order, values in listed order) then explicit points, and each
+point derives its RNG seeds from a stable hash of its overrides, so the
+same parameter point always simulates the same world no matter where in
+which sweep it appears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+
+#: Systems a sweep point can run against.
+KNOWN_SYSTEMS: Tuple[str, ...] = ("telecast", "random")
+
+#: Seed fields that participate in per-point seed derivation.
+_SEED_FIELDS: Tuple[str, ...] = ("seed", "latency_seed", "baseline_seed", "churn_seed")
+
+#: Modulus of the derived seed offset (a prime, to spread grid points).
+_SEED_OFFSET_MOD = 99991
+
+
+def _jsonable(value):
+    """Convert a value to something ``json.dumps`` renders canonically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            key: _jsonable(item)
+            for key, item in sorted(dataclasses.asdict(value).items())
+        }
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float) and value != value:  # NaN never round-trips
+        raise ValueError("NaN is not a valid sweep parameter value")
+    return value
+
+
+def canonical_json(value) -> str:
+    """Canonical JSON used for config hashes and seed derivation."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Stable short hash of a full experiment configuration.
+
+    Two configs hash equal iff every field (including nested
+    distributions and churn overlays) is equal, so a stored sweep record
+    can be matched against the code that would regenerate it.
+    """
+    payload = canonical_json(dataclasses.asdict(config))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def derive_seed_offset(overrides: Mapping[str, object]) -> int:
+    """Stable per-point seed offset from the non-seed overrides."""
+    payload = canonical_json(
+        {key: value for key, value in overrides.items() if key not in _SEED_FIELDS}
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % _SEED_OFFSET_MOD
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved scenario of a sweep: config + system + identity."""
+
+    sweep_name: str
+    index: int
+    system: str
+    overrides: Tuple[Tuple[str, object], ...]
+    config: ExperimentConfig
+    config_hash: str
+
+    @property
+    def point_id(self) -> str:
+        """Stable identifier: sweep name, ordinal, system.
+
+        Deliberately excludes the config hash: a baseline comparison
+        matches points by id and then *detects* hash drift, which would
+        be impossible if the hash were part of the identity.
+        """
+        return f"{self.sweep_name}/{self.index:03d}/{self.system}"
+
+    def params(self) -> Dict[str, object]:
+        """The overrides of this point as a plain dict."""
+        return dict(self.overrides)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Sweep family name; prefixes every point id and names the results
+        file in the store.
+    base:
+        Configuration every point starts from.
+    grid:
+        Field name -> list of values; the cartesian product over all axes
+        is swept.  Axis names must be ``ExperimentConfig`` fields.
+    points:
+        Explicit override dicts appended after the grid (for paired
+        overrides a cartesian product cannot express, e.g. scaling the
+        CDN cap with the population).
+    systems:
+        Which dissemination systems each point runs against.
+    derive_seeds:
+        When true (the default) every point offsets the base seeds by a
+        stable hash of its overrides, so distinct points simulate
+        distinct worlds while remaining reproducible.  Points that
+        explicitly override a seed field keep their explicit value.
+    """
+
+    name: str
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+    grid: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    points: Sequence[Mapping[str, object]] = ()
+    systems: Tuple[str, ...] = ("telecast",)
+    derive_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a sweep needs a non-empty name")
+        if not self.systems:
+            raise ValueError("a sweep needs at least one system")
+        for system in self.systems:
+            if system not in KNOWN_SYSTEMS:
+                raise ValueError(
+                    f"unknown system {system!r}; expected one of {KNOWN_SYSTEMS}"
+                )
+        config_fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+        for axis in self.grid:
+            if axis not in config_fields:
+                raise ValueError(f"unknown grid axis {axis!r}")
+        for point in self.points:
+            for key in point:
+                if key not in config_fields:
+                    raise ValueError(f"unknown point override {key!r}")
+
+    def _override_sets(self) -> List[Dict[str, object]]:
+        combos: List[Dict[str, object]] = []
+        if self.grid:
+            axes = sorted(self.grid)
+            for values in itertools.product(*(self.grid[axis] for axis in axes)):
+                combos.append(dict(zip(axes, values)))
+        combos.extend(dict(point) for point in self.points)
+        if not combos:
+            combos.append({})
+        return combos
+
+    def _config_for(self, overrides: Mapping[str, object]) -> ExperimentConfig:
+        config = self.base.with_(**overrides) if overrides else self.base
+        if not self.derive_seeds:
+            return config
+        offset = derive_seed_offset(overrides)
+        seeds = {
+            name: getattr(self.base, name) + offset
+            for name in _SEED_FIELDS
+            if name not in overrides
+        }
+        return config.with_(**seeds) if seeds else config
+
+    def expand(self) -> List[SweepPoint]:
+        """All points of the sweep, in deterministic order."""
+        expanded: List[SweepPoint] = []
+        index = 0
+        for overrides in self._override_sets():
+            config = self._config_for(overrides)
+            digest = config_hash(config)
+            for system in self.systems:
+                expanded.append(
+                    SweepPoint(
+                        sweep_name=self.name,
+                        index=index,
+                        system=system,
+                        overrides=tuple(sorted(overrides.items())),
+                        config=config,
+                        config_hash=digest,
+                    )
+                )
+                index += 1
+        return expanded
+
+    def num_points(self) -> int:
+        """Number of points :meth:`expand` will produce."""
+        grid_size = 1
+        for values in self.grid.values():
+            grid_size *= len(values)
+        if not self.grid:
+            grid_size = 0
+        combos = grid_size + len(self.points)
+        return max(combos, 1) * len(self.systems)

@@ -1,0 +1,126 @@
+"""Named sweep families exposed by ``python -m repro.experiments sweep``.
+
+Each preset mirrors one axis of the paper's evaluation at a configurable
+scale.  The CDN capacity follows the population (6000 Mbps per 1000
+viewers, the paper's supply/demand balance), which a cartesian grid cannot
+express -- those presets use explicit point lists with paired overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.experiments.config import (
+    FIGURE_13_BANDWIDTH_SETTINGS,
+    PAPER_CONFIG,
+    ExperimentConfig,
+    viewer_counts,
+)
+from repro.experiments.sweep.grid import SweepSpec
+
+#: Outbound settings of the bandwidth preset: the subset of Figure 13's
+#: legend that spans the no/low/high-contribution regimes.
+_BANDWIDTH_LABELS = (
+    "C_obw=0",
+    "C_obw=4",
+    "C_obw=8",
+    "C_obw=0-12",
+    "C_obw=2-10",
+    "C_obw=4-14",
+)
+_BANDWIDTH_SETTINGS = tuple(
+    setting
+    for setting in FIGURE_13_BANDWIDTH_SETTINGS
+    if setting.label() in _BANDWIDTH_LABELS
+)
+
+
+def _scaled_points(
+    base: ExperimentConfig, counts: List[int], **extra: object
+) -> List[Mapping[str, object]]:
+    """One point per population size, CDN cap scaled proportionally."""
+    return [
+        {
+            "num_viewers": count,
+            "cdn_capacity_mbps": base.with_scaled_population(count).cdn_capacity_mbps,
+            **extra,
+        }
+        for count in counts
+    ]
+
+
+def smoke_sweep(base: ExperimentConfig = PAPER_CONFIG) -> SweepSpec:
+    """Tiny 6-point grid for CI: 3 populations x both systems, 3 LSCs."""
+    return SweepSpec(
+        name="smoke",
+        base=base,
+        points=_scaled_points(base, [40, 80, 120], num_lscs=3),
+        systems=("telecast", "random"),
+    )
+
+
+def scale_sweep(
+    base: ExperimentConfig = PAPER_CONFIG,
+    *,
+    max_viewers: int = 1000,
+    step: int = 100,
+    num_lscs: int = 3,
+) -> SweepSpec:
+    """Figure-15b-style scale curve: population sweep, TeleCast vs Random."""
+    return SweepSpec(
+        name="scale",
+        base=base,
+        points=_scaled_points(base, viewer_counts(max_viewers, step), num_lscs=num_lscs),
+        systems=("telecast", "random"),
+    )
+
+
+def bandwidth_sweep(
+    base: ExperimentConfig = PAPER_CONFIG,
+    *,
+    viewers: int = 400,
+    num_lscs: int = 3,
+) -> SweepSpec:
+    """Figure-13-style outbound-bandwidth grid at a fixed population."""
+    scaled = base.with_scaled_population(viewers, num_lscs=num_lscs)
+    return SweepSpec(
+        name="bandwidth",
+        base=scaled,
+        grid={"outbound": list(_BANDWIDTH_SETTINGS)},
+    )
+
+
+def shard_sweep(
+    base: ExperimentConfig = PAPER_CONFIG, *, viewers: int = 400
+) -> SweepSpec:
+    """Control-plane sharding sweep: the same network world over 1..5 LSCs.
+
+    The latency trace derives every delay from a per-pair digest
+    (:func:`repro.net.planetlab.generate_planetlab_matrix`), so points
+    differ *only* in control-plane layout -- viewer-to-viewer delays,
+    regions and workloads are identical across the axis.
+    """
+    scaled = base.with_scaled_population(viewers)
+    return SweepSpec(
+        name="shards",
+        base=scaled,
+        grid={"num_lscs": [1, 2, 3, 5]},
+        # One fixed world, resharded: deriving per-point seeds here would
+        # change the population along with the control plane.
+        derive_seeds=False,
+    )
+
+
+def named_sweeps(
+    *,
+    viewers: int = 400,
+    step: int = 100,
+    num_lscs: int = 3,
+) -> Dict[str, SweepSpec]:
+    """All presets, keyed by CLI name, at the requested scale."""
+    return {
+        "smoke": smoke_sweep(),
+        "scale": scale_sweep(max_viewers=viewers, step=step, num_lscs=num_lscs),
+        "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
+        "shards": shard_sweep(viewers=viewers),
+    }

@@ -1,0 +1,157 @@
+"""Persistent JSONL results store for sweep runs.
+
+Every executed sweep point appends one self-describing JSON line to
+``results/<sweep-name>.jsonl``: the point identity (sweep, ordinal,
+system, config hash), the provenance (``git describe``, wall-clock
+timestamp), the per-point runtime and the full scalar metrics summary.
+Records are append-only -- re-running a sweep adds a new generation
+rather than rewriting history -- and :func:`latest_generation` recovers
+the newest record per point for comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Bumped whenever the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default directory sweep records are persisted under.
+DEFAULT_RESULTS_DIR = Path("results")
+
+
+def git_describe(cwd: Optional[Path] = None) -> str:
+    """``git describe --always --dirty`` of the working tree, or ``unknown``.
+
+    Stored with every record so a regression report can name the exact
+    code state that produced each side.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    output = completed.stdout.strip()
+    return output if completed.returncode == 0 and output else "unknown"
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One persisted sweep-point result."""
+
+    sweep: str
+    point_id: str
+    system: str
+    params: Dict[str, object]
+    config_hash: str
+    git: str
+    created_at: float
+    wall_clock_s: float
+    metrics: Dict[str, float]
+    error: Optional[str] = None
+    schema: int = SCHEMA_VERSION
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point ran to completion."""
+        return self.error is None
+
+    def to_json(self) -> str:
+        """One JSONL line (no trailing newline)."""
+        payload = {
+            "schema": self.schema,
+            "sweep": self.sweep,
+            "point_id": self.point_id,
+            "system": self.system,
+            "params": self.params,
+            "config_hash": self.config_hash,
+            "git": self.git,
+            "created_at": self.created_at,
+            "wall_clock_s": self.wall_clock_s,
+            "metrics": self.metrics,
+            "error": self.error,
+        }
+        if self.extra:
+            payload["extra"] = self.extra
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SweepRecord":
+        """Parse one JSONL line back into a record."""
+        payload = json.loads(line)
+        return cls(
+            sweep=payload["sweep"],
+            point_id=payload["point_id"],
+            system=payload.get("system", "telecast"),
+            params=payload.get("params", {}),
+            config_hash=payload.get("config_hash", ""),
+            git=payload.get("git", "unknown"),
+            created_at=payload.get("created_at", 0.0),
+            wall_clock_s=payload.get("wall_clock_s", 0.0),
+            metrics=payload.get("metrics", {}),
+            error=payload.get("error"),
+            schema=payload.get("schema", SCHEMA_VERSION),
+            extra=payload.get("extra", {}),
+        )
+
+
+class ResultsStore:
+    """Append-only JSONL store rooted at a results directory."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, sweep_name: str) -> Path:
+        """The JSONL file holding one sweep family's records."""
+        return self.root / f"{sweep_name}.jsonl"
+
+    def append(self, record: SweepRecord) -> Path:
+        """Append one record; creates the results directory on demand."""
+        path = self.path_for(record.sweep)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+        return path
+
+    def load(self, sweep_name: str) -> List[SweepRecord]:
+        """All records of a sweep family, oldest first."""
+        return load_records(self.path_for(sweep_name))
+
+
+def load_records(path: Union[str, Path]) -> List[SweepRecord]:
+    """Parse a JSONL results file (empty list when it does not exist)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return []
+    records: List[SweepRecord] = []
+    with file_path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SweepRecord.from_json(line))
+    return records
+
+
+def latest_generation(records: List[SweepRecord]) -> Dict[str, SweepRecord]:
+    """The newest record per point id (file order breaks timestamp ties)."""
+    latest: Dict[str, SweepRecord] = {}
+    for record in records:  # later lines win: the file is append-only
+        latest[record.point_id] = record
+    return latest
+
+
+def now() -> float:
+    """Wall-clock timestamp recorded on new records (UTC Unix seconds)."""
+    return time.time()

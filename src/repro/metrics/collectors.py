@@ -174,3 +174,36 @@ class SessionMetrics:
             if snapshot.num_requests >= num_viewers:
                 return snapshot
         return None
+
+    def summary(self) -> Dict[str, float]:
+        """Machine-readable scalar summary of the session.
+
+        The flat dict is what the sweep results store persists per point
+        (``repro.experiments.sweep``); every value is a plain number so
+        the record round-trips through JSON unchanged.
+        """
+        from repro.metrics.stats import percentile
+
+        summary: Dict[str, float] = {
+            "acceptance_ratio": self.acceptance_ratio,
+            "request_acceptance_ratio": self.request_acceptance_ratio,
+            "accepted_requests": self.accepted_requests,
+            "rejected_requests": self.rejected_requests,
+            "sync_dropped_streams": self.sync_dropped_streams,
+            "victim_events": self.victim_events,
+            "recovered_victims": self.recovered_victims,
+            "abrupt_departures": self.abrupt_departures,
+            "repaired_subscriptions_p2p": self.repaired_subscriptions_p2p,
+            "repaired_subscriptions_cdn": self.repaired_subscriptions_cdn,
+            "lost_repair_subscriptions": self.lost_repair_subscriptions,
+            "lsc_failovers": self.lsc_failovers,
+            "failover_migrated_viewers": self.failover_migrated_viewers,
+            "failover_lost_viewers": self.failover_lost_viewers,
+        }
+        if self.join_delays:
+            summary["join_delay_p50"] = percentile(self.join_delays, 50.0)
+            summary["join_delay_p95"] = percentile(self.join_delays, 95.0)
+        if self.view_change_delays:
+            summary["view_change_delay_p50"] = percentile(self.view_change_delays, 50.0)
+            summary["view_change_delay_p95"] = percentile(self.view_change_delays, 95.0)
+        return summary

@@ -18,6 +18,8 @@ consume pairwise one-way delays and region labels, nothing else.
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -71,6 +73,43 @@ class PlanetLabTraceConfig:
             raise ValueError("at least one region name is required")
 
 
+_MASK64 = (1 << 64) - 1
+#: Distinct stream constants for the two Box-Muller uniforms.
+_U2_SALT = 0xD6E8FEB86659FD93
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a fast, well-distributed 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _node_key(seed: int, node_id: str) -> int:
+    """Stable 64-bit key of one node under one seed.
+
+    Unlike a shared sequential RNG stream, deriving draws from per-node
+    keys makes every delay independent of which *other* nodes are in the
+    matrix, so adding control nodes (or another LSC) never perturbs the
+    delays of existing pairs.
+    """
+    digest = hashlib.sha256(f"{seed}|node|{node_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _pair_gauss(key_low: int, key_high: int) -> float:
+    """Standard-normal draw for one pair of node keys (Box-Muller).
+
+    Callers pass the keys in sorted-*name* order so the draw is
+    symmetric in the pair.
+    """
+    base = _mix64(key_low ^ ((key_high * 0x9E3779B97F4A7C15) & _MASK64))
+    u1 = (_mix64(base) + 1) / 2.0**64
+    u2 = (_mix64(base ^ _U2_SALT) + 1) / 2.0**64
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
 def generate_planetlab_matrix(
     node_ids: Sequence[str],
     *,
@@ -79,33 +118,44 @@ def generate_planetlab_matrix(
 ) -> LatencyMatrix:
     """Generate a synthetic all-pairs one-way delay matrix for ``node_ids``.
 
-    Nodes are assigned round-robin-with-jitter to regions, then every pair
-    receives a log-normal delay around the intra- or inter-region median.
-    The result is deterministic for a given ``rng`` seed.
+    Nodes are assigned to regions and every pair receives a log-normal
+    delay around the intra- or inter-region median.  Both draws derive
+    from a stable per-node / per-pair digest of the seed, so the result
+    is deterministic for a given ``rng`` seed *and* independent of the
+    node-set composition: the delay (and region) of any node or pair is
+    the same whether the matrix holds 10 viewers or 1000 viewers plus a
+    control plane.  Experiments rely on this to compare scenarios that
+    differ only in their control-plane layout (e.g. the ``shards``
+    sweep) over an identical network world.
     """
     if config is None:
         config = PlanetLabTraceConfig()
     if rng is None:
         rng = SeededRandom(0)
+    seed = rng.seed if rng.seed is not None else 0
 
     matrix = LatencyMatrix(default_delay=config.inter_region_median)
     regions = RegionMap()
     region_objs = [regions.add_region(name) for name in config.region_names]
 
+    keys = {node_id: _node_key(seed, node_id) for node_id in node_ids}
     for node_id in node_ids:
         matrix.add_node(node_id)
-        regions.assign(node_id, rng.choice(region_objs))
+        region_index = _mix64(keys[node_id]) % len(region_objs)
+        regions.assign(node_id, region_objs[region_index])
 
-    nodes: List[str] = list(node_ids)
+    nodes: List[str] = sorted(node_ids)  # sorted so pair draws are symmetric
+    log_intra = math.log(config.intra_region_median)
+    log_inter = math.log(config.inter_region_median)
     for i, a in enumerate(nodes):
+        key_a = keys[a]
+        region_a = regions.region_of(a)
         for b in nodes[i + 1 :]:
-            same_region = regions.region_of(a) == regions.region_of(b)
-            median = (
-                config.intra_region_median
-                if same_region
-                else config.inter_region_median
+            same_region = region_a == regions.region_of(b)
+            log_median = log_intra if same_region else log_inter
+            delay = math.exp(
+                log_median + config.sigma * _pair_gauss(key_a, keys[b])
             )
-            delay = rng.lognormal(median, config.sigma)
             matrix.set_delay(a, b, delay)
 
     matrix.regions = regions

@@ -10,7 +10,7 @@ matrix is generated and expose the mapping here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.util.validation import require
 
@@ -61,3 +61,24 @@ class RegionMap:
     def node_ids(self) -> Iterable[str]:
         """Iterate over all assigned node ids."""
         return self._assignment.keys()
+
+
+def shard_regions(
+    region_names: Sequence[str], num_shards: int
+) -> Tuple[Tuple[str, ...], ...]:
+    """Cluster region names into ``num_shards`` balanced groups.
+
+    Each shard is the service area of one Local Session Controller
+    (``LSC-0`` serves shard 0, and so on).  Regions are dealt round-robin
+    in sorted-name order, so the grouping is deterministic, balanced to
+    within one region, and independent of the caller's ordering.  With
+    more shards than regions the trailing shards are empty (their LSCs
+    serve no mapped region and only receive fallback traffic).
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be > 0")
+    unique = sorted(set(region_names))
+    shards: List[List[str]] = [[] for _ in range(num_shards)]
+    for index, name in enumerate(unique):
+        shards[index % num_shards].append(name)
+    return tuple(tuple(shard) for shard in shards)

@@ -46,6 +46,26 @@ class TestGSC:
         viewer = Viewer(viewer_id="v", region_name="atlantis")
         assert gsc.lsc_for_viewer(viewer).lsc_id == "LSC-0"
 
+    def test_stale_region_mapping_falls_back_to_surviving_lsc(self, gsc):
+        # Regression: remove_lsc leaves the region mapping in place (the
+        # failover path repoints it later), but a join arriving in between
+        # must not resolve to the dead id.
+        gsc.add_lsc("LSC-1", region_name="europe")
+        gsc.add_lsc("LSC-2", region_name="asia")
+        gsc.remove_lsc("LSC-1")
+        viewer = Viewer(viewer_id="v", region_name="europe")
+        chosen = gsc.lsc_for_viewer(viewer)
+        # Flat delays tie every candidate; the id breaks the tie.
+        assert chosen.lsc_id == "LSC-0"
+        # The stale mapping is healed, so the next lookup resolves directly.
+        assert gsc.lsc_for_viewer(viewer).lsc_id == "LSC-0"
+
+    def test_removing_last_lsc_then_region_join_raises(self, gsc):
+        gsc.add_lsc("LSC-0", region_name="europe")
+        gsc.remove_lsc("LSC-0")
+        with pytest.raises(RuntimeError):
+            gsc.lsc_for_viewer(Viewer(viewer_id="v", region_name="europe"))
+
     def test_no_lsc_registered_raises(self, flat_delay_model, layer_config):
         controller = GlobalSessionController(CDN(100.0), flat_delay_model, layer_config)
         with pytest.raises(RuntimeError):
