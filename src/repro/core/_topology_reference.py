@@ -1,50 +1,23 @@
-"""Per-stream overlay trees and the degree push-down algorithm (Section IV-B2).
+"""Frozen pre-refactor StreamTree: the executable placement spec.
 
-For every accepted stream of every view group, 4D TeleCast maintains one
-dissemination tree rooted at the CDN.  Joining viewers are placed by the
-*degree push-down* algorithm (Algorithm 1): the tree is scanned level by
-level (lowest out-degree first within a level) and the joining viewer
-replaces the first node whose out-degree is smaller (ties broken by total
-outbound capacity); the replaced node is pushed down to become a child of
-the joining viewer.  Viewers that cannot displace anyone fill an empty
-child slot if one exists within the delay bound, and otherwise fall back to
-a direct CDN subscription.
+This is the seed implementation of the degree push-down tree, kept
+verbatim (O(n) level scans, per-node delay recomputation through the
+delay model) under the name :class:`ReferenceStreamTree`.  It exists for
+two purposes only:
 
-The net effect is a flat tree in which high-capacity viewers sit near the
-root -- which both maximises how many viewers fit within the delay bound
-and gives viewers an incentive to contribute bandwidth (they receive
-fresher layers).
+* the randomized equivalence suite in ``tests/test_properties.py``
+  replays identical operation sequences through this class and the
+  indexed :class:`~repro.core.topology.StreamTree` and asserts
+  bit-identical results and tree shapes, and
+* ``benchmarks/bench_scale.py`` swaps it in to measure the join-phase
+  speedup of the indexed implementation against the pre-refactor path.
 
-Performance core
-----------------
-The seed implementation rebuilt and re-sorted every level on every insert
-(an O(n log n) full-tree scan per join) and summed free slots across all
-members per admission check.  This version keeps the *observable
-behaviour bit-identical* (enforced by the randomized equivalence suite in
-``tests/test_properties.py`` against
-:class:`repro.core._topology_reference.ReferenceStreamTree`) while
-maintaining three incremental indices:
-
-* **per-level member lists**, kept sorted by Algorithm 1's priority key
-  ``(out_degree, outbound_capacity, node_id)`` -- the key is immutable
-  per node, so membership updates are single ``bisect``-insertions and
-  the push-down scan walks a ready-sorted prefix instead of sorting,
-* **per-level free-slot candidate lists** (same order) holding exactly
-  the members with an unfilled child slot, so the empty-slot pass and
-  :meth:`find_repair_parent` only ever look at viable parents,
-* a **running free-slot total** making :meth:`free_p2p_slots` O(1); the
-  seed recomputed it over all members on every join's supply check.
-
-Structural moves (displacement push-down, reparenting, orphan
-re-attachment) re-settle whole subtrees in one batched walk using the
-**cached per-edge hop delay** (``d_prop + delta`` memoized when the edge
-forms) instead of re-querying the latency matrix per node -- the same
-float additions the seed performed, so delays stay bit-identical.
+Do not use it in production code and do not "fix" it -- behaviour
+changes here silently weaken the equivalence guarantee.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -56,9 +29,6 @@ from repro.util.validation import require_non_negative
 #: Out-degree value the paper assigns to empty child slots.
 EMPTY_SLOT_DEGREE = -1
 
-#: Sort key type of the per-level indices.
-_Key = Tuple[int, float, str]
-
 
 @dataclass
 class TreeNode:
@@ -67,13 +37,6 @@ class TreeNode:
     ``out_degree`` is the number of children the viewer can serve for this
     stream (derived from its outbound allocation); ``outbound_capacity``
     is the viewer's total ``C_obw`` used only for tie-breaking.
-
-    ``depth`` and ``hop_from_parent`` are maintained by
-    :class:`StreamTree`: the depth feeds the per-level placement indices
-    and the cached hop delay (``d_prop + delta`` of the edge from the
-    parent; ``None`` for the root, CDN-fed and orphaned nodes) lets
-    subtree moves recompute end-to-end delays without touching the
-    latency matrix.
     """
 
     node_id: str
@@ -82,23 +45,11 @@ class TreeNode:
     parent_id: Optional[str]
     end_to_end_delay: float
     children: List[str] = field(default_factory=list)
-    depth: int = 0
-    hop_from_parent: Optional[float] = None
-    #: Whether the node is root-reachable and therefore present in the
-    #: placement indices.  Orphaned subtrees (and anything mutated while
-    #: inside one) stay out of the indices until re-attached, matching
-    #: the seed's root-anchored scans that never reached them.
-    attached: bool = False
 
     @property
     def free_slots(self) -> int:
         """Number of unfilled child slots."""
         return max(0, self.out_degree - len(self.children))
-
-    @property
-    def sort_key(self) -> _Key:
-        """Algorithm 1's priority key (immutable per node)."""
-        return (self.out_degree, self.outbound_capacity, self.node_id)
 
 
 @dataclass(frozen=True)
@@ -125,28 +76,8 @@ class RemovalResult:
     was_cdn_fed: bool = False
 
 
-class _Level:
-    """Sorted member and free-slot-candidate indices of one tree depth."""
-
-    __slots__ = ("members", "free")
-
-    def __init__(self) -> None:
-        #: All nodes at this depth, sorted by Algorithm 1's priority key.
-        self.members: List[_Key] = []
-        #: The subset with at least one unfilled child slot, same order.
-        self.free: List[_Key] = []
-
-
-def _sorted_remove(entries: List[_Key], key: _Key) -> None:
-    """Remove ``key`` from a sorted key list (must be present)."""
-    index = bisect_left(entries, key)
-    if index >= len(entries) or entries[index] != key:
-        raise AssertionError(f"index entry {key!r} missing from level list")
-    del entries[index]
-
-
-class StreamTree:
-    """The dissemination tree of one stream within one view group."""
+class ReferenceStreamTree:
+    """Pre-refactor dissemination tree (see module docstring)."""
 
     def __init__(
         self,
@@ -165,16 +96,8 @@ class StreamTree:
             outbound_capacity=float("inf"),
             parent_id=None,
             end_to_end_delay=delay_model.cdn_end_to_end(),
-            depth=0,
-            attached=True,
         )
         self._nodes: Dict[str, TreeNode] = {CDN_NODE_ID: root}
-        #: ``_levels[d - 1]`` indexes the connected nodes at depth ``d``.
-        self._levels: List[_Level] = []
-        #: Maintained sum of free child slots over ALL members -- attached
-        #: or (temporarily) orphaned -- matching the seed's full-member
-        #: scan exactly.
-        self._free_slots_total = 0
 
     # -- inspection ---------------------------------------------------------
 
@@ -239,142 +162,41 @@ class StreamTree:
         straight to :meth:`reattach_orphan`.  Returns ``None`` when no
         member has usable forwarding capacity, which is the caller's cue to
         fall back to a direct CDN subscription.
-
-        Unlike the seed's per-level BFS + full sort, only the maintained
-        free-slot candidates of each level are considered (nodes without a
-        free slot never qualified anyway), so repair cost tracks the
-        number of viable parents, not the tree size.
         """
         if orphan_id not in self._nodes:
             return None
         blocked = self.subtree_ids(orphan_id)
-        for level in self._levels:
-            if not level.members:
-                break
+        frontier = [nid for nid in self.root.children if nid not in blocked]
+        while frontier:
             candidates = sorted(
-                (self._nodes[key[2]] for key in level.free if key[2] not in blocked),
+                (self._nodes[nid] for nid in frontier),
                 key=lambda n: (-n.free_slots, -n.outbound_capacity, n.node_id),
             )
             for candidate in candidates:
+                if candidate.free_slots <= 0:
+                    continue
                 delay = self.delay_model.end_to_end_via_parent(
                     candidate.end_to_end_delay, candidate.node_id, orphan_id
                 )
                 if delay <= self.d_max:
                     return candidate.node_id
+            next_frontier: List[str] = []
+            for candidate in candidates:
+                next_frontier.extend(
+                    nid for nid in candidate.children if nid not in blocked
+                )
+            frontier = next_frontier
         return None
 
     def free_p2p_slots(self) -> int:
-        """Total unfilled child slots across all member viewers (O(1)).
-
-        Counts every member -- including orphans awaiting re-attachment
-        -- exactly like the seed's scan over the full node table.
-        """
-        return self._free_slots_total
+        """Total unfilled child slots across all member viewers."""
+        return sum(
+            node.free_slots for node in self._nodes.values() if node.node_id != CDN_NODE_ID
+        )
 
     def free_p2p_bandwidth_mbps(self) -> float:
         """Unused forwarding bandwidth available inside the tree."""
         return self.free_p2p_slots() * self.stream.bandwidth_mbps
-
-    # -- index maintenance ---------------------------------------------------
-
-    def _level(self, depth: int) -> _Level:
-        """The index of ``depth`` (levels are created on demand)."""
-        while len(self._levels) < depth:
-            self._levels.append(_Level())
-        return self._levels[depth - 1]
-
-    def _index_add(self, node: TreeNode) -> None:
-        """Add a connected node to the level indices (free total unchanged:
-        it tracks membership, not attachment)."""
-        level = self._level(node.depth)
-        key = node.sort_key
-        insort(level.members, key)
-        if node.free_slots > 0:
-            insort(level.free, key)
-        node.attached = True
-
-    def _index_remove(self, node: TreeNode) -> None:
-        """Remove a node from the level indices."""
-        level = self._levels[node.depth - 1]
-        key = node.sort_key
-        _sorted_remove(level.members, key)
-        if node.free_slots > 0:
-            _sorted_remove(level.free, key)
-        node.attached = False
-
-    def _add_child(self, parent: TreeNode, child_id: str) -> None:
-        """Append a child, keeping the free-slot index and total exact.
-
-        The running total covers every member (the seed summed
-        ``free_slots`` over all nodes, attached or orphaned); the
-        per-level free list only tracks attached parents, since detached
-        subtrees are outside the placement indices.  Children of the
-        root are plain CDN subscriptions with no slot accounting.
-        """
-        if parent.node_id == CDN_NODE_ID:
-            parent.children.append(child_id)
-            return
-        old_free = parent.free_slots
-        parent.children.append(child_id)
-        new_free = parent.free_slots
-        self._free_slots_total += new_free - old_free
-        if parent.attached and old_free > 0 and new_free == 0:
-            _sorted_remove(self._levels[parent.depth - 1].free, parent.sort_key)
-
-    def _remove_child(self, parent: TreeNode, child_id: str) -> None:
-        """Drop a child, keeping the free-slot index and total exact."""
-        if parent.node_id == CDN_NODE_ID:
-            parent.children.remove(child_id)
-            return
-        old_free = parent.free_slots
-        parent.children.remove(child_id)
-        new_free = parent.free_slots
-        self._free_slots_total += new_free - old_free
-        if parent.attached and old_free == 0 and new_free > 0:
-            insort(self._levels[parent.depth - 1].free, parent.sort_key)
-
-    def _detach_subtree(self, root_id: str) -> None:
-        """Remove a subtree from the indices (delays stay as-is, like the seed)."""
-        stack = [root_id]
-        while stack:
-            node = self._nodes[stack.pop()]
-            self._index_remove(node)
-            stack.extend(node.children)
-
-    def _settle_subtree(
-        self,
-        root_node: TreeNode,
-        depth: int,
-        root_delay: float,
-        *,
-        target_attached: bool,
-    ) -> None:
-        """Place a subtree at ``depth``, recomputing delays in one batched walk.
-
-        The caller has already fixed the root's parent pointer and (if the
-        edge changed) its cached hop; descendants reuse their cached edge
-        hops, so the walk performs exactly the seed's additions
-        (``parent_delay + hop``) without any latency-matrix lookups.
-
-        Each node leaves the indices if it was attached and (re)enters
-        them iff the new position is root-reachable (``target_attached``)
-        -- moves inside or into detached subtrees keep the subtree out of
-        the placement indices, like the seed's root-anchored scans.
-        """
-        stack: List[Tuple[TreeNode, int, float]] = [(root_node, depth, root_delay)]
-        while stack:
-            node, node_depth, delay = stack.pop()
-            if node.attached:
-                self._index_remove(node)
-            node.depth = node_depth
-            node.end_to_end_delay = delay
-            if target_attached:
-                self._index_add(node)
-            for child_id in node.children:
-                child = self._nodes[child_id]
-                stack.append(
-                    (child, node_depth + 1, delay + child.hop_from_parent)
-                )
 
     # -- insertion (Algorithm 1) ---------------------------------------------
 
@@ -419,44 +241,38 @@ class StreamTree:
     def _find_pushdown_placement(
         self, node_id: str, out_degree: int, outbound_capacity: float
     ) -> Optional[InsertResult]:
-        """Scan the maintained level indices for a push-down or empty-slot placement.
-
-        Identical scan order to the seed's per-level sort: within a level,
-        ascending ``(out_degree, outbound_capacity, node_id)``.  Because
-        the member list is kept in exactly that order, the displaceable
-        candidates -- those whose ``(degree, capacity)`` is strictly
-        smaller than the joiner's -- form a prefix of the list, and the
-        empty-slot pass reads the free-candidate list instead of skipping
-        full nodes one by one.
-        """
-        insert_rank = (out_degree, outbound_capacity)
-        nodes = self._nodes
-        # A joiner without a child slot can never displace anyone (it must
-        # host the displaced node), so the displacement pass -- which the
-        # seed still walked candidate by candidate -- is skipped outright.
-        can_displace = out_degree >= 1
-        for level in self._levels:
-            if not level.members:
-                break  # levels are contiguous: nothing deeper either
+        """Scan the tree level by level for a push-down or empty-slot placement."""
+        frontier: List[str] = list(self.root.children)
+        while frontier:
+            # Ascending out-degree (ties by capacity) so the weakest node at
+            # the shallowest level is displaced first, per Algorithm 1's
+            # priority queues.
+            level_nodes = sorted(
+                (self._nodes[nid] for nid in frontier),
+                key=lambda n: (n.out_degree, n.outbound_capacity, n.node_id),
+            )
             # First consider displacing a weaker node at this level.
-            if can_displace:
-                for key in level.members:
-                    if (key[0], key[1]) >= insert_rank:
-                        break  # sorted: no later candidate can be displaced
+            for candidate in level_nodes:
+                if self._displaces(out_degree, outbound_capacity, candidate):
                     result = self._try_displace(
-                        node_id, out_degree, outbound_capacity, nodes[key[2]]
+                        node_id, out_degree, outbound_capacity, candidate
                     )
                     if result is not None:
                         return result
             # Then consider empty slots of this level's nodes (the paper's
             # virtual children with out-degree -1, which live one level down
             # but are always weaker than any real node there).
-            for key in level.free:
-                result = self._try_fill_slot(
-                    node_id, out_degree, outbound_capacity, nodes[key[2]]
-                )
-                if result is not None:
-                    return result
+            for candidate in level_nodes:
+                if candidate.free_slots > 0:
+                    result = self._try_fill_slot(
+                        node_id, out_degree, outbound_capacity, candidate
+                    )
+                    if result is not None:
+                        return result
+            next_frontier: List[str] = []
+            for candidate in level_nodes:
+                next_frontier.extend(candidate.children)
+            frontier = next_frontier
         return None
 
     @staticmethod
@@ -483,18 +299,18 @@ class StreamTree:
         if parent.node_id == CDN_NODE_ID:
             # Taking over a CDN slot: the paper assumes CDN-fed viewers see
             # exactly Delta regardless of which viewer occupies the slot.
-            new_hop: Optional[float] = None
             new_delay = self.delay_model.cdn_end_to_end(node_id)
         else:
-            new_hop = self.delay_model.hop_delay(parent.node_id, node_id)
-            new_delay = parent.end_to_end_delay + new_hop
-        pushed_hop = self.delay_model.hop_delay(node_id, target.node_id)
-        pushed_delay = new_delay + pushed_hop
+            new_delay = self.delay_model.end_to_end_via_parent(
+                parent.end_to_end_delay, parent.node_id, node_id
+            )
+        pushed_delay = self.delay_model.end_to_end_via_parent(
+            new_delay, node_id, target.node_id
+        )
         if new_delay > self.d_max or pushed_delay > self.d_max:
             return None
 
-        # Splice the new node into target's slot (same child count, so the
-        # parent's free-slot standing is untouched).
+        # Splice the new node into target's slot.
         index = parent.children.index(target.node_id)
         parent.children[index] = node_id
         new_node = TreeNode(
@@ -504,19 +320,10 @@ class StreamTree:
             parent_id=parent.node_id,
             end_to_end_delay=new_delay,
             children=[target.node_id],
-            depth=target.depth,
-            hop_from_parent=new_hop,
         )
         self._nodes[node_id] = new_node
-        self._free_slots_total += new_node.free_slots
-        self._index_add(new_node)
         target.parent_id = node_id
-        target.hop_from_parent = pushed_hop
-        # The displaced subtree shifts down one level; delays re-settle
-        # from the cached hops in a single batched walk.
-        self._settle_subtree(
-            target, target.depth + 1, pushed_delay, target_attached=True
-        )
+        self._recompute_delays(target.node_id)
         return InsertResult(
             accepted=True,
             parent_id=parent.node_id,
@@ -533,11 +340,12 @@ class StreamTree:
         parent: TreeNode,
     ) -> Optional[InsertResult]:
         """Attach the new node into an empty child slot of ``parent``."""
-        hop = self.delay_model.hop_delay(parent.node_id, node_id)
-        delay = parent.end_to_end_delay + hop
+        delay = self.delay_model.end_to_end_via_parent(
+            parent.end_to_end_delay, parent.node_id, node_id
+        )
         if delay > self.d_max:
             return None
-        self._attach(node_id, parent.node_id, out_degree, outbound_capacity, delay, hop=hop)
+        self._attach(node_id, parent.node_id, out_degree, outbound_capacity, delay)
         return InsertResult(
             accepted=True,
             parent_id=parent.node_id,
@@ -552,23 +360,15 @@ class StreamTree:
         out_degree: int,
         outbound_capacity: float,
         end_to_end_delay: float,
-        hop: Optional[float] = None,
     ) -> None:
-        parent = self._nodes[parent_id]
-        node = TreeNode(
+        self._nodes[node_id] = TreeNode(
             node_id=node_id,
             out_degree=out_degree,
             outbound_capacity=outbound_capacity,
             parent_id=parent_id,
             end_to_end_delay=end_to_end_delay,
-            depth=parent.depth + 1,
-            hop_from_parent=hop,
         )
-        self._nodes[node_id] = node
-        self._free_slots_total += node.free_slots
-        self._add_child(parent, node_id)
-        if parent.attached:
-            self._index_add(node)
+        self._nodes[parent_id].children.append(node_id)
 
     # -- attachment of victims / explicit placements --------------------------
 
@@ -585,15 +385,14 @@ class StreamTree:
         parent = self._nodes[parent_id]
         if parent_id != CDN_NODE_ID and parent.free_slots <= 0:
             return InsertResult(accepted=False, reason=f"{parent_id} has no free slot")
+        delay = self.delay_model.end_to_end_via_parent(
+            parent.end_to_end_delay, parent_id, node_id
+        )
         if parent_id == CDN_NODE_ID:
-            hop: Optional[float] = None
             delay = self.delay_model.cdn_end_to_end(node_id)
-        else:
-            hop = self.delay_model.hop_delay(parent_id, node_id)
-            delay = parent.end_to_end_delay + hop
         if delay > self.d_max:
             return InsertResult(accepted=False, reason="delay bound exceeded")
-        self._attach(node_id, parent_id, out_degree, outbound_capacity, delay, hop=hop)
+        self._attach(node_id, parent_id, out_degree, outbound_capacity, delay)
         return InsertResult(
             accepted=True,
             parent_id=parent_id,
@@ -628,21 +427,19 @@ class StreamTree:
                 return InsertResult(accepted=False, reason="would create a cycle")
             ancestor = self._nodes[ancestor.parent_id]
         if new_parent_id == CDN_NODE_ID:
-            hop: Optional[float] = None
             delay = self.delay_model.cdn_end_to_end(node_id)
         else:
-            hop = self.delay_model.hop_delay(new_parent_id, node_id)
-            delay = new_parent.end_to_end_delay + hop
+            delay = self.delay_model.end_to_end_via_parent(
+                new_parent.end_to_end_delay, new_parent_id, node_id
+            )
         if delay > self.d_max:
             return InsertResult(accepted=False, reason="delay bound exceeded")
         if node.parent_id is not None and node_id in self._nodes[node.parent_id].children:
-            self._remove_child(self._nodes[node.parent_id], node_id)
+            self._nodes[node.parent_id].children.remove(node_id)
         node.parent_id = new_parent_id
-        node.hop_from_parent = hop
-        self._add_child(new_parent, node_id)
-        self._settle_subtree(
-            node, new_parent.depth + 1, delay, target_attached=new_parent.attached
-        )
+        node.end_to_end_delay = delay
+        new_parent.children.append(node_id)
+        self._recompute_delays(node_id, include_root=False)
         return InsertResult(
             accepted=True,
             parent_id=new_parent_id,
@@ -657,9 +454,7 @@ class StreamTree:
 
         The orphaned children are the stream's victim viewers; the caller
         (adaptation component) re-attaches them, typically to the CDN first.
-        Their subtrees stay intact below them.  Orphaned subtrees leave
-        the placement indices until re-attached, exactly as the seed's
-        root-anchored scans never reached them.
+        Their subtrees stay intact below them.
         """
         if node_id not in self._nodes or node_id == CDN_NODE_ID:
             return RemovalResult(removed=False)
@@ -667,21 +462,10 @@ class StreamTree:
         parent = self._nodes[node.parent_id] if node.parent_id else None
         was_cdn_fed = node.parent_id == CDN_NODE_ID
         if parent is not None and node_id in parent.children:
-            self._remove_child(parent, node_id)
+            parent.children.remove(node_id)
         orphans = tuple(node.children)
-        was_attached = node.attached
-        if was_attached:
-            self._index_remove(node)
-        self._free_slots_total -= node.free_slots
         for child_id in orphans:
-            if was_attached:
-                # Orphaned subtrees leave the placement indices until
-                # re-attached (a node removed while already inside a
-                # detached subtree has nothing to detach).
-                self._detach_subtree(child_id)
-            orphan = self._nodes[child_id]
-            orphan.parent_id = None
-            orphan.hop_from_parent = None
+            self._nodes[child_id].parent_id = None
         del self._nodes[node_id]
         return RemovalResult(
             removed=True, orphaned_children=orphans, was_cdn_fed=was_cdn_fed
@@ -700,19 +484,17 @@ class StreamTree:
         if parent_id != CDN_NODE_ID and parent.free_slots <= 0:
             return InsertResult(accepted=False, reason=f"{parent_id} has no free slot")
         if parent_id == CDN_NODE_ID:
-            hop: Optional[float] = None
             delay = self.delay_model.cdn_end_to_end(node_id)
         else:
-            hop = self.delay_model.hop_delay(parent_id, node_id)
-            delay = parent.end_to_end_delay + hop
+            delay = self.delay_model.end_to_end_via_parent(
+                parent.end_to_end_delay, parent_id, node_id
+            )
         if delay > self.d_max:
             return InsertResult(accepted=False, reason="delay bound exceeded")
         node.parent_id = parent_id
-        node.hop_from_parent = hop
-        self._add_child(parent, node_id)
-        self._settle_subtree(
-            node, parent.depth + 1, delay, target_attached=parent.attached
-        )
+        node.end_to_end_delay = delay
+        parent.children.append(node_id)
+        self._recompute_delays(node_id, include_root=False)
         return InsertResult(
             accepted=True,
             parent_id=parent_id,
@@ -721,6 +503,24 @@ class StreamTree:
         )
 
     # -- delays ---------------------------------------------------------------
+
+    def _recompute_delays(self, subtree_root_id: str, *, include_root: bool = True) -> None:
+        """Recompute end-to-end delays for a subtree after a structural change."""
+        stack = [subtree_root_id]
+        first = True
+        while stack:
+            current_id = stack.pop()
+            current = self._nodes[current_id]
+            if current.parent_id is not None and (include_root or not first):
+                parent = self._nodes[current.parent_id]
+                if current.parent_id == CDN_NODE_ID:
+                    current.end_to_end_delay = self.delay_model.cdn_end_to_end(current_id)
+                else:
+                    current.end_to_end_delay = self.delay_model.end_to_end_via_parent(
+                        parent.end_to_end_delay, parent.node_id, current_id
+                    )
+            first = False
+            stack.extend(current.children)
 
     def end_to_end_delay(self, node_id: str) -> float:
         """Current end-to-end delay of the stream at ``node_id``."""
@@ -738,10 +538,7 @@ class StreamTree:
         """Internal consistency check (used by tests and property checks).
 
         Verifies parent/child symmetry, that no viewer exceeds its
-        out-degree, that the structure is acyclic, and that the
-        maintained placement indices (levels, free-slot candidates,
-        running free total, depths, cached hops) agree with the actual
-        tree shape.
+        out-degree, and that the structure is acyclic.
         """
         for node in self._nodes.values():
             if node.node_id != CDN_NODE_ID and len(node.children) > node.out_degree:
@@ -765,66 +562,3 @@ class StreamTree:
                 current = self._nodes[current.parent_id]
             if current.node_id != CDN_NODE_ID:
                 raise AssertionError(f"{node_id} is not connected to the CDN root")
-        self._validate_indices()
-
-    def _connected_by_depth(self) -> Dict[int, List[TreeNode]]:
-        """Root-reachable viewers grouped by their true depth."""
-        grouped: Dict[int, List[TreeNode]] = {}
-        stack = [(self.root, 0)]
-        while stack:
-            node, depth = stack.pop()
-            if node.node_id != CDN_NODE_ID:
-                grouped.setdefault(depth, []).append(node)
-            for child_id in node.children:
-                stack.append((self._nodes[child_id], depth + 1))
-        return grouped
-
-    def _validate_indices(self) -> None:
-        grouped = self._connected_by_depth()
-        max_depth = max(grouped, default=0)
-        for depth in range(1, max(max_depth, len(self._levels)) + 1):
-            nodes = grouped.get(depth, [])
-            level = self._levels[depth - 1] if depth - 1 < len(self._levels) else _Level()
-            expected_members = sorted(node.sort_key for node in nodes)
-            if level.members != expected_members:
-                raise AssertionError(f"level {depth} member index out of sync")
-            expected_free = sorted(
-                node.sort_key for node in nodes if node.free_slots > 0
-            )
-            if level.free != expected_free:
-                raise AssertionError(f"level {depth} free-slot index out of sync")
-            for node in nodes:
-                if not node.attached:
-                    raise AssertionError(
-                        f"reachable node {node.node_id} is marked detached"
-                    )
-                if node.depth != depth:
-                    raise AssertionError(
-                        f"{node.node_id} records depth {node.depth}, actual {depth}"
-                    )
-                if node.parent_id == CDN_NODE_ID:
-                    if node.hop_from_parent is not None:
-                        raise AssertionError(
-                            f"CDN-fed {node.node_id} must not cache a hop delay"
-                        )
-                elif node.hop_from_parent is None:
-                    raise AssertionError(f"{node.node_id} lost its cached hop delay")
-        reachable = sum(len(nodes) for nodes in grouped.values())
-        attached = sum(
-            1
-            for node in self._nodes.values()
-            if node.attached and node.node_id != CDN_NODE_ID
-        )
-        if attached != reachable:
-            raise AssertionError(
-                f"{attached} nodes marked attached but {reachable} are reachable"
-            )
-        expected_total = sum(
-            node.free_slots
-            for node in self._nodes.values()
-            if node.node_id != CDN_NODE_ID
-        )
-        if self._free_slots_total != expected_total:
-            raise AssertionError(
-                f"free-slot total {self._free_slots_total} != actual {expected_total}"
-            )

@@ -12,8 +12,9 @@ paper.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bandwidth import allocate_inbound, allocate_outbound
 from repro.core.group import ViewGroup
@@ -66,10 +67,14 @@ class GSCMonitor:
     def __init__(self) -> None:
         self._streams: Dict[StreamId, Stream] = {}
         self._session_start: float = 0.0
+        #: Single-entry memo of :meth:`latest_frame_numbers`: subscription
+        #: runs triggered by one event all ask at the same timestamp.
+        self._latest_cache: Optional[Tuple[float, Dict[StreamId, int]]] = None
 
     def register_stream(self, stream: Stream) -> None:
         """Record a producer stream's metadata (rate, bandwidth)."""
         self._streams[stream.stream_id] = stream
+        self._latest_cache = None
 
     def stream(self, stream_id: StreamId) -> Stream:
         """Metadata of one stream."""
@@ -86,8 +91,19 @@ class GSCMonitor:
         return int(elapsed * stream.frame_rate)
 
     def latest_frame_numbers(self, now: float) -> Dict[StreamId, int]:
-        """Latest frame numbers of all registered streams."""
-        return {sid: self.latest_frame_number(sid, now) for sid in self._streams}
+        """Latest frame numbers of all registered streams.
+
+        Memoized per timestamp: a join's subscription process (and every
+        re-subscription it propagates down the trees) queries the same
+        ``now``, so the dict is built once per event instead of once per
+        affected viewer.  Callers must treat the result as read-only.
+        """
+        cached = self._latest_cache
+        if cached is not None and cached[0] == now:
+            return cached[1]
+        latest = {sid: self.latest_frame_number(sid, now) for sid in self._streams}
+        self._latest_cache = (now, latest)
+        return latest
 
 
 class LocalSessionController:
@@ -400,9 +416,9 @@ class LocalSessionController:
         tree = group.tree(stream_id)
         if start_viewer_id not in tree:
             return
-        queue: List[str] = [start_viewer_id]
+        queue: Deque[str] = deque((start_viewer_id,))
         while queue:
-            current_id = queue.pop(0)
+            current_id = queue.popleft()
             current_session = self.sessions.get(current_id)
             if current_session is None or stream_id not in current_session.subscriptions:
                 continue

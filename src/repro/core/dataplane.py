@@ -43,9 +43,23 @@ class PlaybackReport:
 
     deliveries: List[DeliveryRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Lazy per-viewer index over ``deliveries``, keyed by the list
+        # length it was built at so external appends invalidate it.  Kept
+        # as plain attributes (not dataclass fields) so the cache never
+        # leaks into __init__, repr or dataclasses.asdict.
+        self._by_viewer: Optional[Dict[str, List[DeliveryRecord]]] = None
+        self._indexed_length = -1
+
     def deliveries_for(self, viewer_id: str) -> List[DeliveryRecord]:
-        """All deliveries at one viewer."""
-        return [d for d in self.deliveries if d.viewer_id == viewer_id]
+        """All deliveries at one viewer (indexed; O(total) only once)."""
+        if self._by_viewer is None or self._indexed_length != len(self.deliveries):
+            index: Dict[str, List[DeliveryRecord]] = {}
+            for record in self.deliveries:
+                index.setdefault(record.viewer_id, []).append(record)
+            self._by_viewer = index
+            self._indexed_length = len(self.deliveries)
+        return list(self._by_viewer.get(viewer_id, ()))
 
     def skew_for(self, viewer_id: str) -> Optional[float]:
         """Worst inter-stream delay skew observed at a viewer.
@@ -100,36 +114,64 @@ class OverlayDataPlane:
         position plus any deliberate layer push-down).  Frames are also
         inserted into the viewer's gateway buffers so buffer/cache behaviour
         can be inspected afterwards.
+
+        Delivery is batched per tree edge: the seed walked
+        viewer -> stream -> frame, regenerating the stream's frame
+        sequence for *every* subscriber; here each stream's frames are
+        generated once and fanned out over the stream's subscription
+        edges (the per-edge delay is a single scalar), which turns the
+        inner loop into one list comprehension per edge.  Records,
+        delivery times and buffered frames are identical -- the report is
+        sorted by (delivery_time, viewer_id) either way.
         """
         report = PlaybackReport()
+        deliveries = report.deliveries
+        # Phase 1: collect the subscription edges, grouped per stream in
+        # first-seen (lsc -> viewer -> subscription) order.
+        edges: Dict[StreamId, List] = {}
         for lsc in self.system.gsc.lscs:
             for viewer_id, session in lsc.sessions.items():
                 for stream_id, sub in session.subscriptions.items():
-                    frames = self.trace.frames_for_stream(stream_id)
-                    if max_frames_per_stream is not None:
-                        frames = frames[:max_frames_per_stream]
                     delay = sub.effective_delay or sub.end_to_end_delay
-                    for frame in frames:
-                        delivery_time = frame.capture_time + delay
-                        report.deliveries.append(
-                            DeliveryRecord(
-                                viewer_id=viewer_id,
-                                stream_id=stream_id,
-                                frame_number=frame.frame_number,
-                                capture_time=frame.capture_time,
-                                delivery_time=delivery_time,
-                            )
-                        )
-                        self._buffer_frame(session.viewer, frame, delivery_time)
-        report.deliveries.sort(key=lambda d: (d.delivery_time, d.viewer_id))
+                    edges.setdefault(stream_id, []).append(
+                        (viewer_id, delay, session.viewer)
+                    )
+        # Phase 2: per stream, generate the frames once and fan the batch
+        # out over every subscribed edge.
+        for stream_id, subscribers in edges.items():
+            frames = self.trace.frames_for_stream(stream_id)
+            if max_frames_per_stream is not None:
+                frames = frames[:max_frames_per_stream]
+            if not frames:
+                continue
+            for viewer_id, delay, viewer in subscribers:
+                deliveries.extend(
+                    DeliveryRecord(
+                        viewer_id=viewer_id,
+                        stream_id=stream_id,
+                        frame_number=frame.frame_number,
+                        capture_time=frame.capture_time,
+                        delivery_time=frame.capture_time + delay,
+                    )
+                    for frame in frames
+                )
+                self._buffer_frames(viewer, frames, delay)
+        deliveries.sort(key=lambda d: (d.delivery_time, d.viewer_id))
         return report
 
     @staticmethod
-    def _buffer_frame(viewer, frame: Frame, delivery_time: float) -> None:
-        buffer = viewer.buffer_for(frame.stream_id)
+    def _buffer_frames(viewer, frames: Sequence[Frame], delay: float) -> None:
+        """Insert a stream's frame batch into one viewer's gateway buffer.
+
+        Frames arrive in capture (and therefore frame-number) order; any
+        prefix at or below the buffer's latest frame number is skipped,
+        which is exactly the seed's per-frame guard against out-of-order
+        insertion on idempotent replays.
+        """
+        buffer = viewer.buffer_for(frames[0].stream_id)
         latest = buffer.latest_frame()
-        # Guard against out-of-order insertion if the same stream is replayed
-        # twice (idempotent replays in tests).
-        if latest is not None and latest.frame_number >= frame.frame_number:
-            return
-        buffer.insert(frame, delivery_time)
+        floor = latest.frame_number if latest is not None else -1
+        for frame in frames:
+            if frame.frame_number <= floor:
+                continue
+            buffer.insert(frame, frame.capture_time + delay)

@@ -71,16 +71,24 @@ class DelayLayerConfig:
                 max(0.0, self.d_max - self.delta - self.buffer_duration),
             )
         require_non_negative(self.cache_duration, "cache_duration")
+        # Derived constants are read on every layer computation of every
+        # join; precompute them once (the config is frozen).
+        object.__setattr__(self, "_tau", self.buffer_duration / self.kappa)
+        object.__setattr__(
+            self,
+            "_max_layer_index",
+            int(math.floor((self.d_max - self.delta) / self._tau)),
+        )
 
     @property
     def tau(self) -> float:
         """Layer width ``tau = d_buff / kappa`` (seconds)."""
-        return self.buffer_duration / self.kappa
+        return self._tau
 
     @property
     def max_layer_index(self) -> int:
         """Largest acceptable layer index, ``floor((d_max - Delta) / tau)``."""
-        return int(math.floor((self.d_max - self.delta) / self.tau))
+        return self._max_layer_index
 
     def layer_delay_bounds(self, layer: int) -> Tuple[float, float]:
         """End-to-end delay interval ``[Delta + y*tau, Delta + (y+1)*tau)`` of Layer-y."""

@@ -42,6 +42,15 @@ class MatchField:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.parent_id}:{self.stream_id}"
 
+    def __hash__(self) -> int:
+        # Match fields key the routing table of every viewer and are
+        # rebuilt per lookup; memoize the (otherwise re-derived) hash.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.parent_id, self.stream_id))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
 
 @dataclass
 class ChildForwardingState:

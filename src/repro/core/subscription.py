@@ -23,6 +23,7 @@ chain.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -126,20 +127,38 @@ def plan_view_synchronization(
         (its own layer position), which is what the child's achievable
         layer depends on.  CDN parents may be omitted.
     """
+    # Equation 1 per stream, with the layer arithmetic inlined: this runs
+    # for every join and every propagated re-subscription, so the
+    # per-call overhead of the generic helpers adds up.  The float
+    # operations are exactly those of :func:`minimum_layer_for`.
+    delta = config.delta
+    tau = config.tau
+    max_layer = config.max_layer_index
+    processing = delay_model.processing_delay
+    propagation = delay_model.propagation
     minimum_layers: Dict[StreamId, int] = {}
     for stream_id, sub in subscriptions.items():
-        parent_delay = parent_effective_delays.get(stream_id, config.delta)
-        minimum_layers[stream_id] = minimum_layer_for(
-            config, delay_model, viewer_id, sub.parent_id, parent_delay
-        )
+        parent_id = sub.parent_id
+        if parent_id == CDN_NODE_ID:
+            minimum_layers[stream_id] = 0
+            continue
+        parent_delay = parent_effective_delays.get(stream_id, delta)
+        raw = (
+            parent_delay - delta + propagation(parent_id, viewer_id) + processing
+        ) / tau
+        layer = int(math.floor(raw))
+        minimum_layers[stream_id] = layer if layer > 0 else 0
 
     # Drop streams that cannot reach any acceptable layer at all.
     dropped = {
-        sid for sid, layer in minimum_layers.items()
-        if not config.is_acceptable_layer(layer)
+        sid for sid, layer in minimum_layers.items() if layer > max_layer
     }
 
-    kept_layers = {sid: layer for sid, layer in minimum_layers.items() if sid not in dropped}
+    kept_layers = (
+        {sid: layer for sid, layer in minimum_layers.items() if sid not in dropped}
+        if dropped
+        else minimum_layers
+    )
     plans: Dict[StreamId, StreamSubscriptionPlan] = {}
 
     if kept_layers:
@@ -148,17 +167,18 @@ def plan_view_synchronization(
         anchor = max(kept_layers.values())
         floor_layer = anchor - config.kappa
         for stream_id, minimum in kept_layers.items():
-            target = max(minimum, floor_layer)
-            if not config.is_acceptable_layer(target):
+            target = minimum if minimum > floor_layer else floor_layer
+            if target > max_layer:
                 dropped.add(stream_id)
                 continue
             sub = subscriptions[stream_id]
             if target > minimum:
                 # Pushed down: position at the top of the target layer so the
-                # push-down fades out along the child chain (R = tau * r).
-                effective = config.delay_for_layer(target, offset=config.tau)
+                # push-down fades out along the child chain (R = tau * r);
+                # same floats as ``delay_for_layer(target, offset=tau)``.
+                effective = delta + target * tau + tau
             else:
-                effective = max(sub.end_to_end_delay, config.delay_for_layer(target))
+                effective = max(sub.end_to_end_delay, delta + target * tau)
             plans[stream_id] = StreamSubscriptionPlan(
                 stream_id=stream_id,
                 minimum_layer=minimum,

@@ -19,6 +19,7 @@ generated :class:`~repro.traces.workload.ViewerWorkload` schedule.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -339,6 +340,7 @@ class TeleCastSystem:
         views: Sequence[GlobalView],
         *,
         snapshot_every: Optional[int] = None,
+        profile: bool = False,
     ) -> SessionMetrics:
         """Replay a workload schedule through the system.
 
@@ -346,29 +348,51 @@ class TeleCastSystem:
         ``snapshot_every`` is given, a system snapshot is recorded after
         every that-many join events (and once at the end), which is how the
         scaling figures collect one curve from a single run.
+
+        With ``profile`` set, wall-clock time is accumulated per phase
+        (join / view_change / churn / metrics) into
+        :attr:`SessionMetrics.phase_timings`; the replayed events and all
+        recorded metrics are unaffected.
         """
         by_id = {viewer.viewer_id: viewer for viewer in viewers}
+        clock = time.perf_counter if profile else None
+        timed = self.metrics.add_phase_time
         joins_seen = 0
         for event in sorted(events, key=lambda e: (e.time, e.viewer_id)):
             self.simulator.run(until=event.time)
+            started = clock() if clock else 0.0
             if event.kind == "join":
                 if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
                     continue  # duplicate join (e.g. a churn rejoin racing a base event)
                 viewer = by_id[event.viewer_id]
                 view = views[event.view_index % len(views)]
                 self.join_viewer(viewer, view, event.time)
+                if clock:
+                    timed("join", clock() - started)
                 joins_seen += 1
                 if snapshot_every and joins_seen % snapshot_every == 0:
+                    started = clock() if clock else 0.0
                     self.take_snapshot()
+                    if clock:
+                        timed("metrics", clock() - started)
             elif event.kind == "view_change":
                 if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
                     view = views[event.view_index % len(views)]
                     self.change_view(event.viewer_id, view, event.time)
+                if clock:
+                    timed("view_change", clock() - started)
             elif event.kind == "depart":
                 self.depart_viewer(event.viewer_id, event.time)
+                if clock:
+                    timed("churn", clock() - started)
             elif event.kind == "fail":
                 self.fail_viewer(event.viewer_id, event.time)
+                if clock:
+                    timed("churn", clock() - started)
+        started = clock() if clock else 0.0
         self.take_snapshot()
+        if clock:
+            timed("metrics", clock() - started)
         return self.metrics
 
     # -- convenience -----------------------------------------------------------------------

@@ -1,21 +1,25 @@
-"""Command-line entry point: figures, parameter sweeps and comparisons.
+"""Command-line entry point: figures, single runs, sweeps and comparisons.
 
 Examples::
 
     python -m repro.experiments --list
     python -m repro.experiments 14a
     python -m repro.experiments 13c --viewers 400 --step 100
+    python -m repro.experiments run --viewers 2000 --lscs 3 --profile
+    python -m repro.experiments run --viewers 10000 --profile --replay-frames 0
     python -m repro.experiments sweep --list
     python -m repro.experiments sweep smoke --jobs 2
-    python -m repro.experiments sweep scale --viewers 600 --step 100 --jobs 4
+    python -m repro.experiments sweep scale10k --jobs 3
     python -m repro.experiments compare results/smoke.jsonl \\
         --baseline results/baseline_smoke.jsonl
 
 Figure mode prints the same text table the benchmark harness prints, so
 figures can be regenerated (e.g. at a different scale) without going
-through pytest.  ``sweep`` runs a named parameter sweep process-parallel
-and appends one JSONL record per point under ``results/``; ``compare``
-diffs two results files and exits non-zero on regression.
+through pytest.  ``run`` executes one scenario end to end (with
+``--profile`` printing the per-phase wall-clock breakdown); ``sweep``
+runs a named parameter sweep process-parallel and appends one JSONL
+record per point under ``results/``; ``compare`` diffs two results
+files and exits non-zero on regression.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
+from repro.core.dataplane import OverlayDataPlane
 from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
 from repro.experiments.figures import (
     figure_13a_cdn_bandwidth,
@@ -36,6 +41,11 @@ from repro.experiments.figures import (
     figure_15b_vs_random_scale,
 )
 from repro.experiments.reporting import format_distribution_figure, format_scaling_figure
+from repro.experiments.runner import (
+    build_scenario,
+    build_telecast_system,
+    run_random_scenario,
+)
 from repro.experiments.sweep import (
     ResultsStore,
     compare_records,
@@ -45,6 +55,8 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 from repro.experiments.sweep.compare import DEFAULT_TOLERANCE
+from repro.sim.rng import SeededRandom
+from repro.traces.teeve import TeeveSessionTrace
 
 #: Figure id -> (description, renderer) registry.
 _FIGURES: Dict[str, str] = {
@@ -112,6 +124,147 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the available figures and exit"
     )
     return parser
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``run`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run",
+        description="Run one scenario end to end, optionally profiled per phase.",
+    )
+    parser.add_argument(
+        "--viewers",
+        type=int,
+        default=PAPER_CONFIG.num_viewers,
+        help="population size (the CDN cap is scaled proportionally)",
+    )
+    parser.add_argument(
+        "--lscs", type=int, default=3, help="number of region-sharded LSCs"
+    )
+    parser.add_argument(
+        "--views", type=int, default=PAPER_CONFIG.num_views, help="candidate views"
+    )
+    parser.add_argument(
+        "--system",
+        choices=("telecast", "random"),
+        default="telecast",
+        help="dissemination system to run",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="record a metrics snapshot every N joins (default: end only)",
+    )
+    parser.add_argument(
+        "--replay-frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after the control-plane run, replay N frames per stream "
+        "through the data plane (TeleCast only)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase wall-clock breakdown "
+        "(build / join / view_change / churn / replay / metrics)",
+    )
+    return parser
+
+
+#: Print order of the per-phase profile table.
+_PROFILE_PHASES = ("build", "join", "view_change", "churn", "replay", "metrics")
+
+
+def _format_profile(phase_timings: Dict[str, float]) -> str:
+    """Render the per-phase wall-clock breakdown of a profiled run."""
+    known = [
+        (phase, phase_timings[phase])
+        for phase in _PROFILE_PHASES
+        if phase in phase_timings
+    ]
+    known.extend(
+        (phase, seconds)
+        for phase, seconds in sorted(phase_timings.items())
+        if phase not in _PROFILE_PHASES
+    )
+    total = sum(seconds for _phase, seconds in known)
+    lines = ["phase breakdown (wall clock):"]
+    for phase, seconds in known:
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"  {phase:<12} {seconds * 1000:10.1f} ms  {share:5.1f}%")
+    lines.append(f"  {'total':<12} {total * 1000:10.1f} ms")
+    return "\n".join(lines)
+
+
+def _run_main(argv: List[str]) -> int:
+    parser = build_run_parser()
+    args = parser.parse_args(argv)
+    if args.viewers <= 0:
+        parser.error("--viewers must be > 0")
+    if args.lscs <= 0:
+        parser.error("--lscs must be > 0")
+    if args.views <= 0:
+        parser.error("--views must be > 0")
+    if args.replay_frames is not None and args.replay_frames < 0:
+        parser.error("--replay-frames must be >= 0")
+    config = PAPER_CONFIG.with_scaled_population(
+        args.viewers, num_lscs=args.lscs, num_views=args.views
+    )
+    import time as _time
+
+    if args.system == "random":
+        if args.replay_frames is not None:
+            parser.error("--replay-frames requires --system telecast")
+        started = _time.perf_counter()
+        result = run_random_scenario(config, snapshot_every=args.snapshot_every)
+        elapsed = _time.perf_counter() - started
+        print(f"random: {result.final_snapshot.num_viewers} connected, "
+              f"acceptance={result.metrics.acceptance_ratio:.4f}, "
+              f"{elapsed:.2f}s wall clock")
+        return 0
+
+    # TeleCast: keep the system instance so the data plane can replay.
+    build_started = _time.perf_counter()
+    scenario = build_scenario(config)
+    build_seconds = _time.perf_counter() - build_started
+    system = build_telecast_system(scenario)
+    metrics = system.run_workload(
+        scenario.viewers,
+        scenario.events,
+        scenario.views,
+        snapshot_every=args.snapshot_every,
+        profile=args.profile,
+    )
+    if args.profile:
+        metrics.add_phase_time("build", build_seconds)
+    if args.replay_frames is not None:
+        replay_started = _time.perf_counter()
+        trace = TeeveSessionTrace(
+            scenario.producers, rng=SeededRandom(config.seed)
+        )
+        report = OverlayDataPlane(system, trace).replay(
+            max_frames_per_stream=args.replay_frames
+        )
+        replay_seconds = _time.perf_counter() - replay_started
+        if args.profile:
+            metrics.add_phase_time("replay", replay_seconds)
+        print(f"replayed {len(report.deliveries)} frame deliveries")
+    metrics_started = _time.perf_counter()
+    snapshot = system.snapshot()
+    summary = metrics.summary()
+    if args.profile:
+        metrics.add_phase_time("metrics", _time.perf_counter() - metrics_started)
+    print(
+        f"telecast: {snapshot.num_viewers} connected / {snapshot.num_requests} requests, "
+        f"acceptance={summary['acceptance_ratio']:.4f}, "
+        f"cdn_fraction={snapshot.cdn_fraction:.4f}, "
+        f"cdn={snapshot.cdn_outbound_mbps:.1f}Mbps"
+    )
+    if args.profile:
+        print(_format_profile(metrics.phase_timings))
+    return 0
 
 
 def build_sweep_parser() -> argparse.ArgumentParser:
@@ -182,6 +335,11 @@ _SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
     },
     "shards": {"--lscs": "the sweep varies num_lscs itself", "--step": "no population axis"},
     "bandwidth": {"--step": "no population axis"},
+    "scale10k": {
+        "--viewers": "fixed 2k/5k/10k population points",
+        "--step": "fixed 2k/5k/10k population points",
+        "--lscs": "pinned to 5 region-sharded LSCs",
+    },
 }
 
 
@@ -283,6 +441,8 @@ def _compare_main(argv: List[str]) -> int:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "run":
+        return _run_main(arguments[1:])
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
     if arguments and arguments[0] == "compare":
@@ -292,6 +452,7 @@ def main(argv=None) -> int:
     if args.list or not args.figure:
         for figure_id, description in sorted(_FIGURES.items()):
             print(f"  {figure_id}: {description}")
+        print("  run: run one scenario end to end (--profile for phase timings)")
         print("  sweep: run a named parameter sweep (see `sweep --list`)")
         print("  compare: diff two sweep results files")
         return 0

@@ -83,6 +83,15 @@ class ExperimentConfig:
     #: every viewer joins through the LSC of its region (Section III).
     num_lscs: int = 1
 
+    # Performance core.
+    #: Whether the synthetic latency matrix derives pair delays lazily on
+    #: first lookup instead of materializing all O(n^2) pairs up front.
+    #: The delays are bit-identical either way; ``None`` (the default)
+    #: picks lazy generation automatically for populations of
+    #: :data:`LAZY_LATENCY_THRESHOLD` viewers or more, where the eager
+    #: matrix build starts to dominate scenario construction.
+    lazy_latency: Optional[bool] = None
+
     # Reproducibility.
     seed: int = 7
     latency_seed: int = 3
@@ -154,6 +163,10 @@ class ExperimentConfig:
         """Copy with the control plane sharded across ``num_lscs`` LSCs."""
         return self.with_(num_lscs=num_lscs)
 
+
+#: Population size at which ``lazy_latency=None`` switches to lazy
+#: latency generation (the eager all-pairs build is O(n^2)).
+LAZY_LATENCY_THRESHOLD = 2000
 
 #: The defaults of Section VII with a bounded 6000 Mbps CDN.
 PAPER_CONFIG = ExperimentConfig()

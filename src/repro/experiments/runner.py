@@ -17,12 +17,13 @@ which is how the paper scales the control plane (Section III).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.random_routing import RandomDisseminationSystem
 from repro.core.telecast import TeleCastSystem, build_views
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import LAZY_LATENCY_THRESHOLD, ExperimentConfig
 from repro.metrics.collectors import SessionMetrics, SystemSnapshot
 from repro.model.cdn import CDN
 from repro.model.producer import ProducerSite, make_default_producers
@@ -139,10 +140,16 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
         ["GSC"] + [f"LSC-{index}" for index in range(config.num_lscs)] + ["CDN"]
     )
     region_names = _region_names_for(config)
+    lazy = (
+        config.lazy_latency
+        if config.lazy_latency is not None
+        else config.num_viewers >= LAZY_LATENCY_THRESHOLD
+    )
     matrix = generate_planetlab_matrix(
         [viewer.viewer_id for viewer in viewers] + control_nodes,
         rng=SeededRandom(config.latency_seed),
         config=PlanetLabTraceConfig(region_names=region_names),
+        lazy=lazy,
     )
     for viewer in viewers:
         viewer.region_name = matrix.regions.region_of(viewer.viewer_id).name
@@ -190,6 +197,7 @@ def run_telecast_scenario(
     *,
     snapshot_every: Optional[int] = 100,
     scenario: Optional[Scenario] = None,
+    profile: bool = False,
 ) -> ScenarioResult:
     """Run one scenario through 4D TeleCast.
 
@@ -197,13 +205,25 @@ def run_telecast_scenario(
     scenario must have been built from the same ``config``); note a
     scenario is stateful (CDN reservations, viewer buffers) and can only
     be run once.
+
+    With ``profile`` set, per-phase wall-clock times (scenario build,
+    join, view_change, churn, metrics) are accumulated into
+    ``metrics.phase_timings`` without affecting any recorded metric.
     """
+    build_started = time.perf_counter() if profile else 0.0
     if scenario is None:
         scenario = build_scenario(config)
+    build_seconds = time.perf_counter() - build_started if profile else 0.0
     system = build_telecast_system(scenario)
     metrics = system.run_workload(
-        scenario.viewers, scenario.events, scenario.views, snapshot_every=snapshot_every
+        scenario.viewers,
+        scenario.events,
+        scenario.views,
+        snapshot_every=snapshot_every,
+        profile=profile,
     )
+    if profile:
+        metrics.add_phase_time("build", build_seconds)
     return ScenarioResult(
         config=config,
         metrics=metrics,

@@ -36,6 +36,7 @@ from repro.experiments.sweep.grid import (
 from repro.experiments.sweep.presets import (
     bandwidth_sweep,
     named_sweeps,
+    scale10k_sweep,
     scale_sweep,
     shard_sweep,
     smoke_sweep,
@@ -69,6 +70,7 @@ __all__ = [
     "load_records",
     "named_sweeps",
     "run_sweep",
+    "scale10k_sweep",
     "scale_sweep",
     "shard_sweep",
     "smoke_sweep",

@@ -111,6 +111,30 @@ def shard_sweep(
     )
 
 
+#: Populations of the ``scale10k`` preset (an order of magnitude past the
+#: paper's 1000-viewer maximum, unlocked by the performance core).
+SCALE10K_POPULATIONS = (2000, 5000, 10000)
+
+
+def scale10k_sweep(
+    base: ExperimentConfig = PAPER_CONFIG, *, num_lscs: int = 5
+) -> SweepSpec:
+    """Order-of-magnitude scale curve: 2k / 5k / 10k-viewer telecasts.
+
+    Only feasible on the performance core: populations of this size use
+    lazy latency generation (``ExperimentConfig.lazy_latency`` auto) and
+    the indexed degree push-down, so a 10k-viewer point joins in seconds
+    instead of minutes.  TeleCast only -- the Random baseline's probe
+    loop contributes nothing to a scale ceiling measurement.
+    """
+    return SweepSpec(
+        name="scale10k",
+        base=base,
+        points=_scaled_points(base, list(SCALE10K_POPULATIONS), num_lscs=num_lscs),
+        systems=("telecast",),
+    )
+
+
 def named_sweeps(
     *,
     viewers: int = 400,
@@ -121,6 +145,7 @@ def named_sweeps(
     return {
         "smoke": smoke_sweep(),
         "scale": scale_sweep(max_viewers=viewers, step=step, num_lscs=num_lscs),
+        "scale10k": scale10k_sweep(),
         "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
         "shards": shard_sweep(viewers=viewers),
     }

@@ -87,8 +87,18 @@ class SessionMetrics:
     join_delays: List[float] = field(default_factory=list)
     view_change_delays: List[float] = field(default_factory=list)
     snapshots: List[SystemSnapshot] = field(default_factory=list)
+    #: Wall-clock seconds spent per phase ("build", "join", "view_change",
+    #: "churn", "replay", "metrics"), populated only by profiled runs
+    #: (``python -m repro.experiments run --profile``).  Deliberately kept
+    #: out of :meth:`summary` so profiling never perturbs stored sweep
+    #: records or golden metrics.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
 
     # -- recording -----------------------------------------------------------
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock time spent in one phase of a profiled run."""
+        self.phase_timings[phase] = self.phase_timings.get(phase, 0.0) + seconds
 
     def record_join(
         self,

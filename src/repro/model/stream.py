@@ -26,6 +26,17 @@ class StreamId:
     def __str__(self) -> str:
         return f"S{self.camera_index}@{self.site_id}"
 
+    def __hash__(self) -> int:
+        # Stream ids key every hot dict of the control plane (routing
+        # tables, subscriptions, trees); the generated dataclass hash
+        # rebuilds and hashes a tuple per call, so memoize it.  The value
+        # is identical to the generated ``hash((site_id, camera_index))``.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.site_id, self.camera_index))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class Stream:

@@ -1,0 +1,75 @@
+"""Node-id interning: dense integer handles for string node ids.
+
+Every layer of the system names nodes with strings (``viewer-0042``,
+``LSC-3``, ``CDN``).  Strings are convenient at the API surface but
+expensive in the hot paths: tuple-of-string dict keys hash two strings
+per latency lookup, and per-node Python objects cannot be packed into
+flat arrays.  :class:`NodeInterner` maps every node id to a dense
+``int`` exactly once, so performance-critical structures (the latency
+matrix's triangular rows, per-region indices) can be arrays indexed by
+the interned id while the public API keeps speaking strings.
+
+Interned ids are assigned in registration order starting at 0 and are
+never reused, so they double as stable insertion-order indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class NodeInterner:
+    """Bidirectional mapping between string node ids and dense ints.
+
+    >>> interner = NodeInterner()
+    >>> interner.intern("viewer-0")
+    0
+    >>> interner.intern("CDN")
+    1
+    >>> interner.intern("viewer-0")  # idempotent
+    0
+    >>> interner.name_of(1)
+    'CDN'
+    >>> "CDN" in interner, len(interner)
+    (True, 2)
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the dense id of ``name``, registering it if new."""
+        index = self._ids.get(name)
+        if index is None:
+            index = len(self._names)
+            self._ids[name] = index
+            self._names.append(name)
+        return index
+
+    def id_of(self, name: str) -> int:
+        """Dense id of a registered name; raises ``KeyError`` when unknown."""
+        return self._ids[name]
+
+    def get(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """Dense id of ``name`` or ``default`` when unregistered."""
+        return self._ids.get(name, default)
+
+    def name_of(self, index: int) -> str:
+        """String id for a dense id; raises ``IndexError`` when out of range."""
+        return self._names[index]
+
+    def names(self) -> List[str]:
+        """All registered names in interning (insertion) order."""
+        return list(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)

@@ -5,15 +5,30 @@ nodes (viewers, producer gateways, CDN edges, session controllers).
 :class:`DelayModel` adds the per-hop components 4D TeleCast reasons about:
 propagation delay (``d_prop``), parent processing delay (``delta``), and
 the producer-to-CDN-to-first-child constant ``Delta``.
+
+Storage is part of the performance core: node ids are interned to dense
+ints (:class:`~repro.net.ids.NodeInterner`) and delays live in flat
+triangular ``array('d')`` rows instead of a tuple-of-strings keyed dict,
+so a lookup costs two small dict probes and one array access and the
+whole matrix packs into contiguous memory.  The string API is unchanged;
+the old tuple-key dict is available only through the deprecated
+:attr:`LatencyMatrix._delays` shim.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.net.ids import NodeInterner
 from repro.net.regions import RegionMap
 from repro.util.validation import require_non_negative
+
+#: Sentinel for "no explicit delay stored" inside the triangular rows.
+_UNSET = math.nan
 
 
 class LatencyMatrix:
@@ -22,55 +37,140 @@ class LatencyMatrix:
     Delays are stored per unordered pair.  Unknown pairs fall back to
     ``default_delay`` so experiments can add late-joining nodes (e.g. CDN
     edge servers) without regenerating the matrix.
+
+    Internally row ``i`` holds the delays of pairs ``(j, i)`` for every
+    interned id ``j <= i`` (lower triangle including the diagonal), with
+    NaN marking unset pairs.  A running sum/count keeps
+    :meth:`mean_delay` O(1) under any number of :meth:`set_delay` calls.
     """
 
     def __init__(self, *, default_delay: float = 0.05) -> None:
         require_non_negative(default_delay, "default_delay")
-        self._delays: Dict[Tuple[str, str], float] = {}
-        self._nodes: Dict[str, None] = {}
+        self._interner = NodeInterner()
+        self._rows: List[array] = []
+        self._explicit_count = 0
+        self._explicit_sum = 0.0
         self.default_delay = default_delay
         self.regions = RegionMap()
 
-    @staticmethod
-    def _key(a: str, b: str) -> Tuple[str, str]:
-        return (a, b) if a <= b else (b, a)
-
     def add_node(self, node_id: str) -> None:
         """Register a node (idempotent)."""
-        self._nodes.setdefault(node_id, None)
+        self._interner.intern(node_id)
 
     @property
     def nodes(self) -> List[str]:
         """All registered node ids, in insertion order."""
-        return list(self._nodes)
+        return self._interner.names()
+
+    @property
+    def interner(self) -> NodeInterner:
+        """The node-id interner (shared handle for array-backed consumers)."""
+        return self._interner
+
+    def _cell(self, a: str, b: str) -> Tuple[int, int]:
+        """Interned (row, column) of an unordered pair, registering both."""
+        ia = self._interner.intern(a)
+        ib = self._interner.intern(b)
+        return (ia, ib) if ia >= ib else (ib, ia)
 
     def set_delay(self, a: str, b: str, delay: float) -> None:
         """Set the one-way delay between ``a`` and ``b`` (seconds)."""
         require_non_negative(delay, "delay")
-        self.add_node(a)
-        self.add_node(b)
-        self._delays[self._key(a, b)] = delay
+        row_index, col = self._cell(a, b)
+        rows = self._rows
+        while len(rows) <= row_index:
+            rows.append(array("d", [_UNSET]) * (len(rows) + 1))
+        row = rows[row_index]
+        previous = row[col]
+        if previous == previous:  # overwrite: keep the running aggregate exact
+            self._explicit_sum -= previous
+            self._explicit_count -= 1
+        row[col] = delay
+        self._record_explicit(delay)
+
+    def _record_explicit(self, delay: float) -> None:
+        """Count one newly stored pair in the running mean aggregate."""
+        self._explicit_sum += delay
+        self._explicit_count += 1
+
+    def _lookup(self, a: str, b: str) -> float:
+        """Stored delay of the pair, NaN when absent or nodes unknown."""
+        ia = self._interner.get(a)
+        ib = self._interner.get(b)
+        if ia is None or ib is None:
+            return _UNSET
+        if ia < ib:
+            ia, ib = ib, ia
+        if ia >= len(self._rows):
+            return _UNSET
+        return self._rows[ia][ib]
 
     def delay(self, a: str, b: str) -> float:
         """Return the one-way delay between ``a`` and ``b`` (seconds)."""
         if a == b:
             return 0.0
-        return self._delays.get(self._key(a, b), self.default_delay)
+        value = self._lookup(a, b)
+        if value == value:
+            return value
+        return self._missing_delay(a, b)
+
+    def _missing_delay(self, a: str, b: str) -> float:
+        """Fallback for pairs without an explicit delay.
+
+        Subclass hook: the lazy PlanetLab matrix overrides this to derive
+        (and memoize) the pair's delay on demand instead of returning the
+        flat default.
+        """
+        return self.default_delay
 
     def has_pair(self, a: str, b: str) -> bool:
         """Whether an explicit delay was set for the pair."""
-        return self._key(a, b) in self._delays
+        value = self._lookup(a, b)
+        return value == value
 
     def pairs(self) -> Iterable[Tuple[str, str, float]]:
         """Iterate over all explicit (a, b, delay) triples."""
-        for (a, b), delay in self._delays.items():
-            yield a, b, delay
+        name_of = self._interner.name_of
+        for row_index, row in enumerate(self._rows):
+            high = name_of(row_index)
+            for col, value in enumerate(row):
+                if value == value:
+                    low = name_of(col)
+                    if low <= high:
+                        yield low, high, value
+                    else:
+                        yield high, low, value
 
     def mean_delay(self) -> float:
-        """Mean of all explicit pairwise delays (0.0 when empty)."""
-        if not self._delays:
+        """Mean of all explicit pairwise delays (0.0 when empty).
+
+        O(1): maintained as a running sum/count in :meth:`set_delay`
+        instead of re-scanning every pair per call.
+        """
+        if self._explicit_count == 0:
             return 0.0
-        return sum(self._delays.values()) / len(self._delays)
+        return self._explicit_sum / self._explicit_count
+
+    def explicit_pair_count(self) -> int:
+        """Number of pairs with an explicitly stored delay."""
+        return self._explicit_count
+
+    @property
+    def _delays(self) -> Dict[Tuple[str, str], float]:
+        """Deprecated tuple-key dict view of the explicit delays.
+
+        The seed implementation stored delays in a ``{(a, b): delay}``
+        dict; code that reached into it still works through this
+        materialized copy, but writes to the returned dict are NOT
+        reflected in the matrix.  Use :meth:`set_delay` / :meth:`delay` /
+        :meth:`pairs` instead.
+        """
+        warnings.warn(
+            "LatencyMatrix._delays is deprecated; use set_delay()/delay()/pairs()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {(a, b) if a <= b else (b, a): d for a, b, d in self.pairs()}
 
 
 @dataclass

@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.latency import LatencyMatrix
 from repro.net.regions import RegionMap
@@ -110,11 +110,121 @@ def _pair_gauss(key_low: int, key_high: int) -> float:
     return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
 
 
+def _pair_delay(
+    key_low: int, key_high: int, log_median: float, sigma: float
+) -> float:
+    """Log-normal pair delay from the two node keys (name-sorted order).
+
+    Shared by the eager and lazy generators so both produce bit-identical
+    values for any pair.
+    """
+    return math.exp(log_median + sigma * _pair_gauss(key_low, key_high))
+
+
+class LazyPlanetLabMatrix(LatencyMatrix):
+    """A PlanetLab matrix that derives pair delays on first access.
+
+    The eager generator materializes all ``n*(n-1)/2`` pairs up front --
+    fine at 1k nodes, minutes of work and hundreds of MB at 10k.  Because
+    every delay is a pure function of the per-node digests, it can
+    equally be computed when a pair is first asked for; overlay
+    construction only ever touches the O(viewers x streams) pairs that
+    actually become tree edges or control hops.  Computed delays are
+    memoized in a sparse per-pair map (a dense triangular row would have
+    to be materialized up to the higher interned id, re-introducing the
+    O(n^2) storage this class exists to avoid), so repeated lookups are
+    one dict probe and :meth:`pairs` / :meth:`mean_delay` /
+    :meth:`has_pair` reflect the materialized subset (documented
+    divergence from the eager all-pairs view).
+    """
+
+    def __init__(
+        self,
+        *,
+        keys: dict,
+        log_intra: float,
+        log_inter: float,
+        sigma: float,
+        default_delay: float,
+    ) -> None:
+        super().__init__(default_delay=default_delay)
+        self._keys = keys
+        self._log_intra = log_intra
+        self._log_inter = log_inter
+        self._sigma = sigma
+        #: Memoized pair delays keyed by (higher, lower) interned id.
+        self._memo: Dict[Tuple[int, int], float] = {}
+
+    def _lookup(self, a: str, b: str) -> float:
+        value = super()._lookup(a, b)  # explicit set_delay overrides win
+        if value == value:
+            return value
+        ia = self.interner.get(a)
+        ib = self.interner.get(b)
+        if ia is None or ib is None:
+            return math.nan
+        if ia < ib:
+            ia, ib = ib, ia
+        return self._memo.get((ia, ib), math.nan)
+
+    def set_delay(self, a: str, b: str, delay: float) -> None:
+        """Set an explicit delay, retiring any lazily memoized value.
+
+        Without the eviction the pair would be double-counted in the
+        running mean and yielded twice by :meth:`pairs` with conflicting
+        values.
+        """
+        ia = self.interner.get(a)
+        ib = self.interner.get(b)
+        if ia is not None and ib is not None:
+            if ia < ib:
+                ia, ib = ib, ia
+            previous = self._memo.pop((ia, ib), None)
+            if previous is not None:
+                self._explicit_sum -= previous
+                self._explicit_count -= 1
+        super().set_delay(a, b, delay)
+
+    def _missing_delay(self, a: str, b: str) -> float:
+        keys = self._keys
+        key_a = keys.get(a)
+        key_b = keys.get(b)
+        if key_a is None or key_b is None:
+            # Nodes outside the generated world keep the flat default,
+            # exactly like unknown pairs of the eager matrix.
+            return self.default_delay
+        same_region = self.regions.region_of(a) == self.regions.region_of(b)
+        log_median = self._log_intra if same_region else self._log_inter
+        if a > b:  # pair draws are symmetric in sorted-name order
+            key_a, key_b = key_b, key_a
+        delay = _pair_delay(key_a, key_b, log_median, self._sigma)
+        ia = self.interner.id_of(a)
+        ib = self.interner.id_of(b)
+        if ia < ib:
+            ia, ib = ib, ia
+        self._memo[(ia, ib)] = delay
+        self._record_explicit(delay)
+        return delay
+
+    def pairs(self) -> Iterable[Tuple[str, str, float]]:
+        yield from super().pairs()
+        name_of = self.interner.name_of
+        for (high_id, low_id), value in self._memo.items():
+            a = name_of(high_id)
+            b = name_of(low_id)
+            if a <= b:
+                yield a, b, value
+            else:
+                yield b, a, value
+
+
+
 def generate_planetlab_matrix(
     node_ids: Sequence[str],
     *,
     rng: Optional[SeededRandom] = None,
     config: Optional[PlanetLabTraceConfig] = None,
+    lazy: bool = False,
 ) -> LatencyMatrix:
     """Generate a synthetic all-pairs one-way delay matrix for ``node_ids``.
 
@@ -127,6 +237,11 @@ def generate_planetlab_matrix(
     control plane.  Experiments rely on this to compare scenarios that
     differ only in their control-plane layout (e.g. the ``shards``
     sweep) over an identical network world.
+
+    With ``lazy=True`` only the region assignment is materialized up
+    front and each pair's delay is derived (and memoized) on first
+    lookup -- same values, O(n) instead of O(n^2) construction, which is
+    what makes 10k-viewer scenarios feasible.
     """
     if config is None:
         config = PlanetLabTraceConfig()
@@ -134,31 +249,41 @@ def generate_planetlab_matrix(
         rng = SeededRandom(0)
     seed = rng.seed if rng.seed is not None else 0
 
-    matrix = LatencyMatrix(default_delay=config.inter_region_median)
+    log_intra = math.log(config.intra_region_median)
+    log_inter = math.log(config.inter_region_median)
+    keys = {node_id: _node_key(seed, node_id) for node_id in node_ids}
+
+    if lazy:
+        matrix: LatencyMatrix = LazyPlanetLabMatrix(
+            keys=keys,
+            log_intra=log_intra,
+            log_inter=log_inter,
+            sigma=config.sigma,
+            default_delay=config.inter_region_median,
+        )
+    else:
+        matrix = LatencyMatrix(default_delay=config.inter_region_median)
     regions = RegionMap()
     region_objs = [regions.add_region(name) for name in config.region_names]
 
-    keys = {node_id: _node_key(seed, node_id) for node_id in node_ids}
     for node_id in node_ids:
         matrix.add_node(node_id)
         region_index = _mix64(keys[node_id]) % len(region_objs)
         regions.assign(node_id, region_objs[region_index])
-
-    nodes: List[str] = sorted(node_ids)  # sorted so pair draws are symmetric
-    log_intra = math.log(config.intra_region_median)
-    log_inter = math.log(config.inter_region_median)
-    for i, a in enumerate(nodes):
-        key_a = keys[a]
-        region_a = regions.region_of(a)
-        for b in nodes[i + 1 :]:
-            same_region = region_a == regions.region_of(b)
-            log_median = log_intra if same_region else log_inter
-            delay = math.exp(
-                log_median + config.sigma * _pair_gauss(key_a, keys[b])
-            )
-            matrix.set_delay(a, b, delay)
-
     matrix.regions = regions
+
+    if not lazy:
+        nodes: List[str] = sorted(node_ids)  # sorted so pair draws are symmetric
+        for i, a in enumerate(nodes):
+            key_a = keys[a]
+            region_a = regions.region_of(a)
+            for b in nodes[i + 1 :]:
+                same_region = region_a == regions.region_of(b)
+                log_median = log_intra if same_region else log_inter
+                matrix.set_delay(
+                    a, b, _pair_delay(key_a, keys[b], log_median, config.sigma)
+                )
+
     return matrix
 
 

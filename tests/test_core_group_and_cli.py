@@ -121,3 +121,36 @@ class TestExperimentsCli:
         args = parser.parse_args(["13a"])
         assert args.viewers == PAPER_CONFIG.num_viewers
         assert args.step == 100
+
+    def test_no_arguments_mentions_run_subcommand(self, capsys):
+        assert main([]) == 0
+        assert "run:" in capsys.readouterr().out
+
+
+class TestRunSubcommand:
+    def test_run_telecast_small_scale(self, capsys):
+        assert main(["run", "--viewers", "40", "--lscs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "telecast:" in out
+        assert "acceptance=" in out
+        assert "phase breakdown" not in out
+
+    def test_run_profile_prints_phase_breakdown(self, capsys):
+        assert main(["run", "--viewers", "40", "--profile", "--replay-frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown (wall clock):" in out
+        for phase in ("build", "join", "replay", "metrics", "total"):
+            assert phase in out
+        assert "replayed" in out
+
+    def test_run_random_system(self, capsys):
+        assert main(["run", "--viewers", "40", "--system", "random"]) == 0
+        assert "random:" in capsys.readouterr().out
+
+    def test_run_rejects_replay_with_random(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "random", "--replay-frames", "3"])
+
+    def test_run_rejects_invalid_population(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--viewers", "0"])

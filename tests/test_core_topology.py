@@ -263,3 +263,23 @@ class TestAccounting:
         tree._nodes["ghost"] = tree._nodes["b"]
         with pytest.raises(AssertionError):
             tree.validate()
+
+
+class TestFreeSlotAccounting:
+    def test_free_slots_count_detached_orphans_like_the_seed(self, tree):
+        # Seed semantics: free_p2p_slots scans every member, including
+        # orphans awaiting re-attachment after a removal.
+        tree.insert("a", 2, 8.0)   # takes the CDN slot
+        tree.insert("b", 3, 9.0)   # displaces a
+        tree.insert("c", 1, 1.0)
+        removal = tree.remove("b")
+        assert removal.orphaned_children  # a (with its subtree) detached
+        from repro.core._topology_reference import ReferenceStreamTree
+
+        reference = ReferenceStreamTree(tree.stream, tree.delay_model, d_max=tree.d_max)
+        reference.insert("a", 2, 8.0)
+        reference.insert("b", 3, 9.0)
+        reference.insert("c", 1, 1.0)
+        reference.remove("b")
+        assert tree.free_p2p_slots() == reference.free_p2p_slots()
+        assert tree.free_p2p_slots() > 0  # the detached subtree's slots count

@@ -2,14 +2,38 @@
 
 import pytest
 
+from repro.net.ids import NodeInterner
 from repro.net.latency import DelayModel, LatencyMatrix
 from repro.net.planetlab import (
+    LazyPlanetLabMatrix,
     PlanetLabTraceConfig,
     generate_planetlab_matrix,
     sample_jittered_delay,
 )
 from repro.net.regions import RegionMap
 from repro.sim.rng import SeededRandom
+
+
+class TestNodeInterner:
+    def test_intern_is_idempotent_and_dense(self):
+        interner = NodeInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+        assert len(interner) == 2
+        assert interner.names() == ["a", "b"]
+        assert list(interner) == ["a", "b"]
+
+    def test_lookups(self):
+        interner = NodeInterner()
+        interner.intern("x")
+        assert interner.id_of("x") == 0
+        assert interner.name_of(0) == "x"
+        assert interner.get("missing") is None
+        assert interner.get("missing", -1) == -1
+        assert "x" in interner and "missing" not in interner
+        with pytest.raises(KeyError):
+            interner.id_of("missing")
 
 
 class TestRegionMap:
@@ -37,6 +61,29 @@ class TestRegionMap:
         regions.assign("a", region)
         regions.assign("b", region)
         assert len(regions) == 2
+
+    def test_nodes_in_uses_maintained_index(self):
+        regions = RegionMap()
+        east = regions.add_region("east")
+        west = regions.add_region("west")
+        regions.assign("a", east)
+        regions.assign("b", west)
+        regions.assign("c", east)
+        assert regions.nodes_in(east) == ["a", "c"]
+        assert regions.nodes_in(west) == ["b"]
+
+    def test_reassignment_moves_node_between_region_indices(self):
+        regions = RegionMap()
+        east = regions.add_region("east")
+        west = regions.add_region("west")
+        regions.assign("a", east)
+        regions.assign("a", west)
+        assert regions.nodes_in(east) == []
+        assert regions.nodes_in(west) == ["a"]
+        assert regions.region_of("a") == west
+        assert len(regions) == 1
+        regions.assign("a", west)  # re-assign to the same region: no-op
+        assert regions.nodes_in(west) == ["a"]
 
 
 class TestLatencyMatrix:
@@ -68,6 +115,46 @@ class TestLatencyMatrix:
 
     def test_mean_delay_empty(self):
         assert LatencyMatrix().mean_delay() == 0.0
+
+    def test_mean_delay_running_aggregate_handles_overwrites(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.01)
+        matrix.set_delay("a", "c", 0.03)
+        matrix.set_delay("a", "b", 0.05)  # overwrite must not double-count
+        assert matrix.explicit_pair_count() == 2
+        assert matrix.mean_delay() == pytest.approx((0.05 + 0.03) / 2)
+
+    def test_overwrite_updates_lookup(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.01)
+        matrix.set_delay("b", "a", 0.09)
+        assert matrix.delay("a", "b") == 0.09
+        assert len(list(matrix.pairs())) == 1
+
+    def test_pairs_yield_string_sorted_names(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("zeta", "alpha", 0.02)
+        assert list(matrix.pairs()) == [("alpha", "zeta", 0.02)]
+
+    def test_add_node_registers_without_pairs(self):
+        matrix = LatencyMatrix()
+        matrix.add_node("solo")
+        assert matrix.nodes == ["solo"]
+        assert list(matrix.pairs()) == []
+
+    def test_deprecated_delays_shim_warns(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("a", "b", 0.02)
+        with pytest.deprecated_call():
+            delays = matrix._delays
+        assert delays == {("a", "b"): 0.02}
+
+    def test_interner_exposed_in_insertion_order(self):
+        matrix = LatencyMatrix()
+        matrix.set_delay("b", "a", 0.01)
+        matrix.add_node("c")
+        assert matrix.interner.names() == ["b", "a", "c"]
+        assert matrix.nodes == ["b", "a", "c"]
 
 
 class TestDelayModel:
@@ -150,3 +237,50 @@ class TestPlanetLabGenerator:
         matrix = generate_planetlab_matrix(["a", "b"], rng=SeededRandom(1))
         with pytest.raises(ValueError):
             sample_jittered_delay(matrix, "a", "b", SeededRandom(0), jitter_fraction=1.0)
+
+
+class TestLazyPlanetLabMatrix:
+    def test_lazy_delays_bit_identical_to_eager(self):
+        nodes = [f"n{i}" for i in range(25)] + ["GSC", "LSC-0", "CDN"]
+        eager = generate_planetlab_matrix(nodes, rng=SeededRandom(7))
+        lazy = generate_planetlab_matrix(nodes, rng=SeededRandom(7), lazy=True)
+        assert isinstance(lazy, LazyPlanetLabMatrix)
+        for a in nodes:
+            assert eager.regions.region_of(a) == lazy.regions.region_of(a)
+            for b in nodes:
+                assert eager.delay(a, b) == lazy.delay(a, b)
+
+    def test_lazy_materializes_only_queried_pairs(self):
+        nodes = [f"n{i}" for i in range(10)]
+        lazy = generate_planetlab_matrix(nodes, rng=SeededRandom(2), lazy=True)
+        assert lazy.explicit_pair_count() == 0
+        lazy.delay("n0", "n1")
+        lazy.delay("n0", "n1")  # memoized: still a single stored pair
+        assert lazy.explicit_pair_count() == 1
+        assert lazy.has_pair("n0", "n1")
+        delay = lazy.delay("n0", "n1")
+        assert list(lazy.pairs()) == [("n0", "n1", delay)]
+        assert lazy.mean_delay() == delay
+
+    def test_lazy_memoization_stays_sparse(self):
+        # One lookup between late-interned nodes must not materialize the
+        # dense triangle (the O(n^2) storage lazy mode exists to avoid).
+        nodes = [f"n{i:04d}" for i in range(3000)]
+        lazy = generate_planetlab_matrix(nodes, rng=SeededRandom(2), lazy=True)
+        lazy.delay(nodes[0], nodes[-1])
+        assert lazy._rows == []  # dense storage untouched
+        assert lazy.explicit_pair_count() == 1
+
+    def test_lazy_unknown_nodes_fall_back_to_default(self):
+        lazy = generate_planetlab_matrix(["a", "b"], rng=SeededRandom(1), lazy=True)
+        assert lazy.delay("a", "ghost") == lazy.default_delay
+        assert not lazy.has_pair("a", "ghost")
+
+    def test_explicit_set_delay_retires_memoized_value(self):
+        lazy = generate_planetlab_matrix(["a", "b"], rng=SeededRandom(1), lazy=True)
+        lazy.delay("a", "b")  # memoize the derived value
+        lazy.set_delay("a", "b", 0.5)
+        assert lazy.delay("a", "b") == 0.5
+        assert lazy.explicit_pair_count() == 1
+        assert list(lazy.pairs()) == [("a", "b", 0.5)]
+        assert lazy.mean_delay() == 0.5

@@ -7,6 +7,12 @@ Covered invariants:
   capacity,
 * the degree push-down tree stays structurally valid (no over-full nodes,
   no cycles, delays within the bound) for arbitrary join sequences,
+* the indexed :class:`StreamTree` is *behaviourally bit-identical* to the
+  frozen pre-refactor implementation across randomized op sequences
+  (insert / remove / orphan repair / reparent) -- the equivalence
+  guarantee the performance core rests on,
+* the smoke sweep's metrics summaries are byte-identical to the golden
+  record captured before the performance-core refactor,
 * the layer formula of Equation 1 matches the layer implied by the delay
   interval definition,
 * the view-synchronization plan always bounds the layer spread by kappa
@@ -14,9 +20,15 @@ Covered invariants:
 * the empirical CDF helper is monotone and normalised.
 """
 
+import dataclasses
+import json
+import random
+from pathlib import Path
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core._topology_reference import ReferenceStreamTree
 from repro.core.bandwidth import allocate_inbound, allocate_outbound, priority_monotonic
 from repro.core.layering import DelayLayerConfig, compute_layer
 from repro.core.state import StreamSubscription
@@ -27,6 +39,8 @@ from repro.metrics.stats import cdf_points
 from repro.model.cdn import CDN_NODE_ID
 from repro.model.producer import make_default_producers
 from repro.net.latency import DelayModel, LatencyMatrix
+from repro.net.planetlab import generate_planetlab_matrix
+from repro.sim.rng import SeededRandom
 
 PRODUCERS = make_default_producers()
 VIEW = build_views(PRODUCERS, num_views=1, streams_per_site=3)[0]
@@ -120,6 +134,157 @@ class TestTopologyProperties:
             for orphan in removal.orphaned_children:
                 tree.reattach_orphan(orphan, CDN_NODE_ID)
         tree.validate()
+
+
+def _make_op_sequence(rng: random.Random, length: int = 70):
+    """Pre-drawn operation script, replayable against any tree implementation."""
+    ops = []
+    for index in range(length):
+        roll = rng.random()
+        if roll < 0.60:
+            ops.append(
+                (
+                    "insert",
+                    f"viewer-{index:03d}",
+                    rng.randint(0, 4),
+                    round(rng.uniform(0.0, 14.0), 3),
+                )
+            )
+        elif roll < 0.80:
+            ops.append(("remove", rng.randrange(1 << 30)))
+        else:
+            ops.append(("reparent_cdn", rng.randrange(1 << 30)))
+    return ops
+
+
+def _replay_ops(tree, ops):
+    """Apply an op script to one tree, returning every observable outcome.
+
+    Targets of remove/reparent ops are picked by index into the sorted
+    member list, so both implementations resolve the same script to the
+    same concrete operations as long as their membership stays identical
+    (which the outcome comparison enforces).
+    """
+    outcomes = []
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            _, node_id, degree, capacity = op
+            if node_id in tree:
+                continue
+            result = tree.insert(node_id, degree, capacity)
+            outcomes.append(("insert", node_id, dataclasses.astuple(result)))
+        elif kind == "remove":
+            members = sorted(tree.members())
+            if not members:
+                continue
+            target = members[op[1] % len(members)]
+            removal = tree.remove(target)
+            outcomes.append(("remove", target, dataclasses.astuple(removal)))
+            # Observed while orphans are still detached: the free-slot
+            # aggregate must count them, exactly like the seed's scan.
+            outcomes.append(("free-slots-mid-removal", target, tree.free_p2p_slots()))
+            for orphan in removal.orphaned_children:
+                parent = tree.find_repair_parent(orphan)
+                outcomes.append(("repair-parent", orphan, parent))
+                reattached = tree.reattach_orphan(orphan, parent or CDN_NODE_ID)
+                outcomes.append(("reattach", orphan, dataclasses.astuple(reattached)))
+                if not reattached.accepted:
+                    # Clean up unplaceable victims like the adaptation layer
+                    # does, so later ops see a consistent membership.
+                    for sub_orphan in tree.remove(orphan).orphaned_children:
+                        tree.reattach_orphan(sub_orphan, CDN_NODE_ID)
+        elif kind == "reparent_cdn":
+            members = sorted(tree.members())
+            if not members:
+                continue
+            target = members[op[1] % len(members)]
+            result = tree.reparent(target, CDN_NODE_ID)
+            outcomes.append(("reparent", target, dataclasses.astuple(result)))
+    return outcomes
+
+
+def _tree_shape(tree):
+    """Full observable shape of a tree: parents, children, exact delays."""
+    shape = {}
+    for node_id in sorted(tree.members()) + [CDN_NODE_ID]:
+        node = tree.node(node_id)
+        shape[node_id] = (
+            node.parent_id,
+            tuple(node.children),
+            node.end_to_end_delay,
+            tree.depth_of(node_id),
+        )
+    return shape
+
+
+class TestPlacementEquivalence:
+    """The indexed StreamTree must be bit-identical to the seed behaviour."""
+
+    def test_refactored_placement_matches_reference_across_seeded_scenarios(self):
+        producers = make_default_producers()
+        stream = producers[0].streams[0]
+        settings_grid = [
+            (0.1, 65.0),   # paper defaults: flat, wide trees
+            (1.5, 66.0),   # depth-limited: delay rejections kick in
+            (2.5, 63.0),   # very tight bound: frequent CDN fallbacks
+        ]
+        for scenario in range(50):
+            rng = random.Random(9_000 + scenario)
+            processing, d_max = settings_grid[scenario % len(settings_grid)]
+            node_ids = [f"viewer-{i:03d}" for i in range(70)] + [CDN_NODE_ID]
+            matrix = generate_planetlab_matrix(
+                node_ids, rng=SeededRandom(100 + scenario)
+            )
+            delay_model = DelayModel(
+                matrix, processing_delay=processing, cdn_delta=60.0
+            )
+            ops = _make_op_sequence(rng)
+            indexed = StreamTree(stream, delay_model, d_max=d_max)
+            reference = ReferenceStreamTree(stream, delay_model, d_max=d_max)
+            indexed_outcomes = _replay_ops(indexed, ops)
+            reference_outcomes = _replay_ops(reference, ops)
+            assert indexed_outcomes == reference_outcomes, (
+                f"scenario {scenario}: outcome divergence"
+            )
+            assert _tree_shape(indexed) == _tree_shape(reference), (
+                f"scenario {scenario}: tree shape divergence"
+            )
+            assert indexed.free_p2p_slots() == reference.free_p2p_slots()
+            indexed.validate()
+
+    def test_insert_results_share_field_layout_with_reference(self):
+        # astuple-based comparison above relies on both InsertResult
+        # dataclasses having the same fields in the same order.
+        from repro.core import _topology_reference as ref_mod
+        from repro.core import topology as top_mod
+
+        assert [f.name for f in dataclasses.fields(top_mod.InsertResult)] == [
+            f.name for f in dataclasses.fields(ref_mod.InsertResult)
+        ]
+        assert [f.name for f in dataclasses.fields(top_mod.RemovalResult)] == [
+            f.name for f in dataclasses.fields(ref_mod.RemovalResult)
+        ]
+
+
+class TestGoldenSmokeMetrics:
+    """The smoke preset's summaries must stay byte-identical to the golden record."""
+
+    GOLDEN_PATH = Path(__file__).parent / "golden" / "smoke_summaries.json"
+
+    def test_smoke_sweep_matches_pre_refactor_golden(self):
+        from repro.experiments.sweep import run_sweep, smoke_sweep
+
+        result = run_sweep(smoke_sweep(), jobs=1)
+        assert not result.failed()
+        current = {point.point_id: point.metrics for point in result.results}
+        golden = json.loads(self.GOLDEN_PATH.read_text())
+        current_canonical = json.dumps(current, indent=2, sort_keys=True)
+        golden_canonical = json.dumps(golden, indent=2, sort_keys=True)
+        assert current_canonical == golden_canonical, (
+            "smoke metrics summaries drifted from the pre-refactor golden record; "
+            "if the change is intentional, regenerate tests/golden/smoke_summaries.json"
+        )
 
 
 class TestLayeringProperties:

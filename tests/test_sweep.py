@@ -337,7 +337,19 @@ class TestCompare:
 class TestPresets:
     def test_named_sweeps_cover_the_cli_names(self):
         sweeps = named_sweeps()
-        assert set(sweeps) == {"smoke", "scale", "bandwidth", "shards"}
+        assert set(sweeps) == {"smoke", "scale", "scale10k", "bandwidth", "shards"}
+
+    def test_scale10k_sweeps_an_order_of_magnitude(self):
+        spec = named_sweeps()["scale10k"]
+        points = spec.expand()
+        populations = [point.config.num_viewers for point in points]
+        assert populations == [2000, 5000, 10000]
+        assert all(point.system == "telecast" for point in points)
+        for point in points:
+            # The CDN cap keeps the paper's supply/demand balance.
+            assert point.config.cdn_capacity_mbps == pytest.approx(
+                6000.0 * point.config.num_viewers / 1000.0
+            )
 
     def test_smoke_is_a_six_point_grid(self):
         spec = smoke_sweep()
