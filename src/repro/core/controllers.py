@@ -127,6 +127,11 @@ class LocalSessionController:
         self.monitor = monitor
         self.groups: Dict[str, ViewGroup] = {}
         self.sessions: Dict[str, ViewerSession] = {}
+        #: In-flight control state (simulated control plane): viewers whose
+        #: join or view change was processed here but whose ack message has
+        #: not been delivered yet, mapped to the processing time.  The
+        #: instant control plane never populates this.
+        self.inflight_acks: Dict[str, float] = {}
 
     # -- group management ----------------------------------------------------
 
@@ -529,14 +534,20 @@ class LocalSessionController:
             session.subscriptions.pop(stream_id, None)
 
     # -- control-plane delay model -----------------------------------------------
+    #
+    # The join protocol of Figure 5 splits into a *request* leg (everything
+    # up to the LSC holding the view request and running admission) and an
+    # *ack* leg (overlay fan-out plus the stream-subscription exchange with
+    # the parents).  The analytic estimate `_join_delay` is the sum of
+    # both; the simulated control plane schedules each leg as an in-flight
+    # :class:`~repro.sim.transport.ControlMessage` instead.
 
-    def _join_delay(self, viewer: Viewer, parents: Sequence[str]) -> float:
-        """Estimate the wall-clock duration of the join protocol (Figure 5).
+    def join_request_delay(self, viewer: Viewer) -> float:
+        """Transit of the join request leg (viewer -> GSC -> LSC, Figure 5).
 
-        Registration with the GSC, forwarding to the LSC, the view request,
-        resource allocation and topology formation at the LSC, overlay
-        information fan-out, and the stream-subscription exchange with the
-        parents.
+        Registration with the GSC, forwarding to the LSC, and the view
+        request exchange between the LSC and the viewer, including the two
+        controller processing steps.
         """
         dm = self.delay_model
         viewer_id = viewer.viewer_id
@@ -545,6 +556,40 @@ class LocalSessionController:
         delay += dm.propagation(self.node_id, viewer_id)
         delay += dm.propagation(viewer_id, self.node_id)
         delay += 2.0 * dm.control_processing_delay
+        return delay
+
+    def join_ack_delay(self, viewer: Viewer, parents: Sequence[str]) -> float:
+        """Transit of the join ack leg (LSC -> viewer, plus parent exchange).
+
+        Overlay information fan-out to the viewer and its parents, then the
+        stream-subscription exchange between the viewer and its slowest
+        parent.
+        """
+        dm = self.delay_model
+        viewer_id = viewer.viewer_id
+        fanout = dm.propagation(self.node_id, viewer_id)
+        for parent in parents:
+            fanout = max(fanout, dm.propagation(self.node_id, parent))
+        subscription = 0.0
+        for parent in parents:
+            subscription = max(subscription, dm.rtt(viewer_id, parent))
+        return fanout + subscription + dm.control_processing_delay
+
+    def _join_delay(self, viewer: Viewer, parents: Sequence[str]) -> float:
+        """Estimate the wall-clock duration of the join protocol (Figure 5).
+
+        Registration with the GSC, forwarding to the LSC, the view request,
+        resource allocation and topology formation at the LSC, overlay
+        information fan-out, and the stream-subscription exchange with the
+        parents -- i.e. the request leg plus the ack leg.  The ack
+        components are summed inline rather than via :meth:`join_ack_delay`
+        because the golden smoke test pins this value byte-for-byte and
+        ``a + (b + c)`` differs from ``(a + b) + c`` in the last float ulp;
+        ``tests/test_core_controllers.py`` asserts the two stay consistent.
+        """
+        dm = self.delay_model
+        viewer_id = viewer.viewer_id
+        delay = self.join_request_delay(viewer)
         fanout = dm.propagation(self.node_id, viewer_id)
         for parent in parents:
             fanout = max(fanout, dm.propagation(self.node_id, parent))
@@ -555,6 +600,21 @@ class LocalSessionController:
         delay += subscription + dm.control_processing_delay
         return delay
 
+    def view_change_request_delay(self, viewer: Viewer) -> float:
+        """Transit of the view-change request leg (viewer -> LSC)."""
+        dm = self.delay_model
+        return (
+            dm.propagation(viewer.viewer_id, self.node_id)
+            + dm.control_processing_delay
+        )
+
+    def view_change_ack_delay(self, viewer: Viewer) -> float:
+        """Transit of the view-change ack leg (LSC -> viewer, CDN fast path)."""
+        dm = self.delay_model
+        return dm.propagation(self.node_id, viewer.viewer_id) + dm.propagation(
+            CDN_NODE_ID, viewer.viewer_id
+        )
+
     def view_change_fast_path_delay(self, viewer: Viewer) -> float:
         """Delay until a view change is served (directly from the CDN)."""
         dm = self.delay_model
@@ -563,6 +623,16 @@ class LocalSessionController:
             + dm.control_processing_delay
             + dm.propagation(CDN_NODE_ID, viewer.viewer_id)
         )
+
+    # -- simulated control-plane bookkeeping ---------------------------------------
+
+    def stage_ack(self, viewer_id: str, now: float) -> None:
+        """Record that an ack for ``viewer_id`` is in flight (sent ``now``)."""
+        self.inflight_acks[viewer_id] = now
+
+    def ack_delivered(self, viewer_id: str) -> None:
+        """Clear the in-flight ack of a viewer (delivery or teardown)."""
+        self.inflight_acks.pop(viewer_id, None)
 
     # -- aggregate accounting -------------------------------------------------------
 

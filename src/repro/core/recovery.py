@@ -11,7 +11,12 @@ events an explicit subsystem with three parts:
   heartbeat with its Local Session Controller.  A sweep of the
   :class:`FailureDetector` declares any viewer silent for longer than the
   timeout failed and triggers the same repair path as an explicit abrupt
-  departure.
+  departure.  Under the instant control plane heartbeats are bookkeeping
+  calls; under the simulated one
+  (:class:`~repro.core.session.EventDrivenSession`) they are scheduled
+  :class:`~repro.sim.transport.Heartbeat` messages with in-flight latency,
+  sent every :data:`DEFAULT_HEARTBEAT_PERIOD` seconds, so a slow or lossy
+  control path can produce spurious failures -- a first-class outcome.
 * **Incremental subtree repair** -- orphaned viewers keep their subtrees
   and are re-parented in place via the degree push-down level order
   (:meth:`~repro.core.topology.StreamTree.find_repair_parent`), falling
@@ -47,6 +52,12 @@ from repro.util.validation import require_positive
 
 #: Default heartbeat timeout (seconds) before a silent viewer is declared failed.
 DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+#: Default interval (seconds) between two heartbeat messages of a viewer
+#: under the simulated control plane.  Must stay comfortably below the
+#: timeout or healthy viewers are swept away as failed -- which is exactly
+#: the regime the ``controlplane`` sweep preset explores.
+DEFAULT_HEARTBEAT_PERIOD = 2.0
 
 
 class RepairStrategy(str, Enum):

@@ -1,0 +1,521 @@
+"""Workload drivers: the instant control plane and the event-driven one.
+
+:class:`~repro.core.telecast.TeleCastSystem` is a thin synchronous facade;
+*how* a workload schedule flows through it is the job of the two drivers
+in this module, which share one per-event dispatch table
+(:data:`EVENT_DISPATCH`) and one ordering rule (:func:`event_sort_key`):
+
+* :class:`InstantDriver` -- the seed semantics, pinned by the golden
+  smoke-metrics test: every event is applied the moment it fires, in
+  ``(time, viewer_id)`` order, with zero control-plane transit time.
+* :class:`EventDrivenSession` -- the simulated control plane.  Each
+  workload intent becomes a typed
+  :class:`~repro.sim.transport.ControlMessage` put in flight on the
+  :class:`~repro.sim.engine.Simulator` by a
+  :class:`~repro.sim.transport.ControlChannel`; session state mutates
+  only when the message is *delivered* at the controller.  Message
+  arrival order -- not workload order -- decides races: two joins
+  contending for the last P2P slot, a view change arriving after its
+  viewer failed, a repair landing on a since-departed parent.  Connected
+  viewers emit periodic heartbeat traffic and a failure-detection sweep
+  runs every heartbeat period, so a control path slower than the
+  heartbeat timeout produces spurious repairs.
+
+With every transit delay forced to zero (``delay_scale=0.0``) deliveries
+are processed in exactly the intent order, which is the instant driver's
+application order -- so placement and acceptance decisions of the two
+drivers coincide, a property the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.recovery import DEFAULT_HEARTBEAT_PERIOD, RepairResult
+from repro.model.cdn import CDN_NODE_ID
+from repro.model.view import GlobalView
+from repro.model.viewer import Viewer
+from repro.sim.engine import EventHandle
+from repro.sim.process import PeriodicProcess
+from repro.sim.transport import (
+    ControlChannel,
+    ControlMessage,
+    DepartNotice,
+    FailureNotice,
+    Heartbeat,
+    JoinAck,
+    JoinRequest,
+    RepairNotify,
+    ViewChange,
+    ViewChangeAck,
+)
+from repro.traces.workload import ViewerEvent
+from repro.util.validation import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telecast imports us)
+    from repro.core.telecast import TeleCastSystem
+
+#: Workload event kind -> driver handler method.  Both drivers implement
+#: every handler, so the replay loop and the race semantics cannot drift
+#: apart event-kind by event-kind.
+EVENT_DISPATCH: Dict[str, str] = {
+    "join": "handle_join",
+    "view_change": "handle_view_change",
+    "depart": "handle_depart",
+    "fail": "handle_fail",
+}
+
+def event_sort_key(event: ViewerEvent):
+    """Deterministic workload replay order: time, then viewer id.
+
+    The sort is stable, so one viewer's same-timestamp events keep their
+    causal list order (a churn schedule emits join before depart).
+    """
+    return (event.time, event.viewer_id)
+
+
+def dispatch_event(driver, event: ViewerEvent) -> None:
+    """Route one workload event to the driver's handler for its kind."""
+    getattr(driver, EVENT_DISPATCH[event.kind])(event)
+
+
+class _DriverBase:
+    """State and helpers shared by both workload drivers."""
+
+    def __init__(
+        self,
+        system: "TeleCastSystem",
+        viewers: Sequence[Viewer],
+        views: Sequence[GlobalView],
+        *,
+        snapshot_every: Optional[int] = None,
+        profile: bool = False,
+    ) -> None:
+        self.system = system
+        self.views = list(views)
+        self.by_id = {viewer.viewer_id: viewer for viewer in viewers}
+        self.snapshot_every = snapshot_every
+        self.joins_seen = 0
+        self._clock = _time.perf_counter if profile else None
+
+    def _started(self) -> float:
+        return self._clock() if self._clock else 0.0
+
+    def _timed(self, phase: str, started: float) -> None:
+        if self._clock:
+            self.system.metrics.add_phase_time(phase, self._clock() - started)
+
+    def _view_for(self, view_index: int) -> GlobalView:
+        return self.views[view_index % len(self.views)]
+
+    def _snapshot(self) -> None:
+        started = self._started()
+        self.system.take_snapshot()
+        self._timed("metrics", started)
+
+    def _count_join(self) -> None:
+        """Advance the snapshot cadence after one *applied* join."""
+        self.joins_seen += 1
+        if self.snapshot_every and self.joins_seen % self.snapshot_every == 0:
+            self._snapshot()
+
+
+class InstantDriver(_DriverBase):
+    """Apply every workload event the moment it fires (seed semantics)."""
+
+    def run(self, events: Sequence[ViewerEvent]):
+        system = self.system
+        for event in sorted(events, key=event_sort_key):
+            system.simulator.run(until=event.time)
+            dispatch_event(self, event)
+        self._snapshot()
+        return system.metrics
+
+    def handle_join(self, event: ViewerEvent) -> None:
+        system = self.system
+        if system.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
+            # Duplicate join (e.g. a churn rejoin racing a base event):
+            # skip the admission AND the snapshot counter, so the
+            # ``snapshot_every`` cadence never drifts on skipped events.
+            return
+        started = self._started()
+        system.join_viewer(
+            self.by_id[event.viewer_id], self._view_for(event.view_index), event.time
+        )
+        self._timed("join", started)
+        self._count_join()
+
+    def handle_view_change(self, event: ViewerEvent) -> None:
+        started = self._started()
+        system = self.system
+        if system.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
+            system.change_view(
+                event.viewer_id, self._view_for(event.view_index), event.time
+            )
+        self._timed("view_change", started)
+
+    def handle_depart(self, event: ViewerEvent) -> None:
+        started = self._started()
+        self.system.depart_viewer(event.viewer_id, event.time)
+        self._timed("churn", started)
+
+    def handle_fail(self, event: ViewerEvent) -> None:
+        started = self._started()
+        self.system.fail_viewer(event.viewer_id, event.time)
+        self._timed("churn", started)
+
+
+class EventDrivenSession(_DriverBase):
+    """Drive a workload through simulated control messages with latency.
+
+    Parameters
+    ----------
+    system:
+        The TeleCast facade whose controllers process the messages.
+    viewers, views:
+        The workload population and the candidate views.
+    snapshot_every:
+        Snapshot cadence in applied joins (same meaning as the instant
+        driver's).
+    profile:
+        Accumulate per-phase wall-clock times into the metrics.
+    heartbeat_period:
+        Interval between two heartbeat messages of a connected viewer;
+        also the failure-detection sweep interval.
+    delay_scale:
+        Multiplier on every control-message transit delay.  ``1.0`` uses
+        the latency matrix as measured; ``0.0`` forces instant delivery
+        (placement/acceptance then match :class:`InstantDriver` exactly).
+    """
+
+    def __init__(
+        self,
+        system: "TeleCastSystem",
+        viewers: Sequence[Viewer],
+        views: Sequence[GlobalView],
+        *,
+        snapshot_every: Optional[int] = None,
+        profile: bool = False,
+        heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD,
+        delay_scale: float = 1.0,
+    ) -> None:
+        super().__init__(
+            system, viewers, views, snapshot_every=snapshot_every, profile=profile
+        )
+        require_positive(heartbeat_period, "heartbeat_period")
+        self.heartbeat_period = heartbeat_period
+        self.channel = ControlChannel(
+            system.simulator, system.delay_model, scale=delay_scale
+        )
+        self._closing = False
+        self._heartbeat_timers: Dict[str, EventHandle] = {}
+        self._heartbeat_ticks: Dict[str, object] = {}
+        self._staged_acks: Dict[str, object] = {}
+        self._sweeper: Optional[PeriodicProcess] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self, events: Sequence[ViewerEvent]):
+        """Replay the schedule as in-flight control traffic; return metrics."""
+        sim = self.system.simulator
+        ordered = sorted(events, key=event_sort_key)
+        for event in ordered:
+            sim.schedule_at(
+                event.time,
+                partial(dispatch_event, self, event),
+                label=f"intent:{event.kind}",
+            )
+        if ordered:
+            self._sweeper = PeriodicProcess(
+                sim, self.heartbeat_period, self._sweep, label="failure-sweep"
+            )
+            # After the last workload intent the session winds down: no new
+            # heartbeat traffic, but everything already in flight is still
+            # delivered (and can still race).
+            sim.schedule_at(ordered[-1].time, self._close, label="close")
+        else:
+            self._closing = True
+        sim.run()
+        metrics = self.system.metrics
+        # Stale deliveries were already counted one by one via _stale().
+        metrics.record_control_traffic(
+            sent=self.channel.sent, delivered=self.channel.delivered
+        )
+        self._snapshot()
+        return metrics
+
+    def _close(self) -> None:
+        self._closing = True
+        if self._sweeper is not None:
+            self._sweeper.stop()
+        for viewer_id in list(self._heartbeat_timers):
+            self._stop_heartbeats(viewer_id)
+
+    def _stale(self) -> None:
+        """Count a message that arrived after its subject left the session."""
+        self.system.metrics.record_stale_message()
+
+    @property
+    def _now(self) -> float:
+        return self.system.simulator.now
+
+    def _lsc_for_delay(self, viewer: Viewer):
+        """The controller a viewer-side message is addressed to.
+
+        The connected viewer's actual LSC when there is one, otherwise the
+        region default -- only used to derive the transit delay; the
+        delivery handler re-resolves the authoritative controller.
+        """
+        lsc = self.system.gsc.lsc_of_connected_viewer(viewer.viewer_id)
+        return lsc if lsc is not None else self.system.gsc.lsc_for_viewer(viewer)
+
+    # -- workload intents (viewer side) ----------------------------------------
+
+    def handle_join(self, event: ViewerEvent) -> None:
+        viewer = self.by_id[event.viewer_id]
+        lsc = self.system.gsc.lsc_for_viewer(viewer)
+        message = JoinRequest(
+            src=viewer.viewer_id,
+            dst=lsc.node_id,
+            sent_at=self._now,
+            viewer_id=viewer.viewer_id,
+            view_index=event.view_index,
+        )
+        self.channel.send(
+            message,
+            self._deliver_join_request,
+            delay=lsc.join_request_delay(viewer),
+        )
+
+    def handle_view_change(self, event: ViewerEvent) -> None:
+        viewer = self.by_id[event.viewer_id]
+        lsc = self._lsc_for_delay(viewer)
+        message = ViewChange(
+            src=viewer.viewer_id,
+            dst=lsc.node_id,
+            sent_at=self._now,
+            viewer_id=viewer.viewer_id,
+            view_index=event.view_index,
+        )
+        self.channel.send(
+            message,
+            self._deliver_view_change,
+            delay=lsc.view_change_request_delay(viewer),
+        )
+
+    def handle_depart(self, event: ViewerEvent) -> None:
+        # The viewer stops heartbeating the moment it decides to leave;
+        # the notice still has to reach the controller.
+        self._stop_heartbeats(event.viewer_id)
+        viewer = self.by_id[event.viewer_id]
+        lsc = self._lsc_for_delay(viewer)
+        message = DepartNotice(
+            src=viewer.viewer_id,
+            dst=lsc.node_id,
+            sent_at=self._now,
+            viewer_id=viewer.viewer_id,
+        )
+        self.channel.send(message, self._deliver_depart)
+
+    def handle_fail(self, event: ViewerEvent) -> None:
+        # A crash is silent on the viewer side: heartbeats simply cease.
+        # What travels is the transport-level reset its parents observe.
+        self._stop_heartbeats(event.viewer_id)
+        viewer = self.by_id[event.viewer_id]
+        lsc = self._lsc_for_delay(viewer)
+        message = FailureNotice(
+            src=viewer.viewer_id,
+            dst=lsc.node_id,
+            sent_at=self._now,
+            viewer_id=viewer.viewer_id,
+        )
+        self.channel.send(message, self._deliver_failure_notice)
+
+    # -- message deliveries (controller side) -----------------------------------
+
+    def _deliver_join_request(self, message: ControlMessage) -> None:
+        system = self.system
+        if system.gsc.lsc_of_connected_viewer(message.viewer_id) is not None:
+            self._stale()  # duplicate join delivered late (e.g. churn rejoin)
+            return
+        started = self._started()
+        viewer = self.by_id[message.viewer_id]
+        lsc = system.gsc.lsc_for_viewer(viewer)
+        result = system.join_viewer(viewer, self._view_for(message.view_index), self._now)
+        self._timed("join", started)
+        self._count_join()
+        parents: tuple = ()
+        if result.accepted:
+            session = lsc.session_of(message.viewer_id)
+            if session is not None:
+                parents = tuple(
+                    sub.parent_id
+                    for sub in session.subscriptions.values()
+                    if sub.parent_id != CDN_NODE_ID
+                )
+        lsc.stage_ack(message.viewer_id, self._now)
+        self._staged_acks[message.viewer_id] = lsc
+        ack = JoinAck(
+            src=lsc.node_id,
+            dst=message.viewer_id,
+            sent_at=message.sent_at,
+            viewer_id=message.viewer_id,
+            accepted=result.accepted,
+        )
+        self.channel.send(
+            ack,
+            self._deliver_join_ack,
+            delay=lsc.join_ack_delay(viewer, parents),
+        )
+
+    def _deliver_join_ack(self, message: ControlMessage) -> None:
+        staged = self._staged_acks.pop(message.viewer_id, None)
+        if staged is not None:
+            staged.ack_delivered(message.viewer_id)
+        # The exchange completed either way; its observed latency is the
+        # simulated-clock counterpart of the analytic join delay.
+        self.system.metrics.record_observed_join(self._now - message.sent_at)
+        if (
+            message.accepted
+            and not self._closing
+            and self.system.gsc.lsc_of_connected_viewer(message.viewer_id) is not None
+        ):
+            self._start_heartbeats(message.viewer_id)
+
+    def _deliver_view_change(self, message: ControlMessage) -> None:
+        system = self.system
+        lsc = system.gsc.lsc_of_connected_viewer(message.viewer_id)
+        if lsc is None:
+            self._stale()  # the viewer failed/departed while this was in flight
+            return
+        started = self._started()
+        viewer = self.by_id[message.viewer_id]
+        result = system.change_view(
+            message.viewer_id, self._view_for(message.view_index), self._now
+        )
+        self._timed("view_change", started)
+        ack = ViewChangeAck(
+            src=lsc.node_id,
+            dst=message.viewer_id,
+            sent_at=message.sent_at,
+            viewer_id=message.viewer_id,
+            accepted=result.accepted,
+        )
+        self.channel.send(
+            ack,
+            self._deliver_view_change_ack,
+            delay=lsc.view_change_ack_delay(viewer),
+        )
+
+    def _deliver_view_change_ack(self, message: ControlMessage) -> None:
+        self.system.metrics.record_observed_view_change(self._now - message.sent_at)
+
+    def _deliver_depart(self, message: ControlMessage) -> None:
+        started = self._started()
+        result = self.system.depart_viewer(message.viewer_id, self._now)
+        self._timed("churn", started)
+        if not result.departed:
+            self._stale()
+
+    def _deliver_failure_notice(self, message: ControlMessage) -> None:
+        started = self._started()
+        result = self.system.fail_viewer(message.viewer_id, self._now)
+        self._timed("churn", started)
+        if not result.departed:
+            self._stale()  # already repaired (e.g. a sweep won the race)
+            return
+        self._notify_repairs(result, self._now)
+
+    def _deliver_repair_notify(self, message: ControlMessage) -> None:
+        self.system.metrics.record_observed_repair(self._now - message.sent_at)
+
+    def _deliver_heartbeat(self, message: ControlMessage) -> None:
+        # Addressed delivery: a heartbeat landing on a controller that no
+        # longer tracks the viewer is dropped like a stale datagram.
+        self.system.renew_heartbeat(message.dst, message.viewer_id, self._now)
+
+    # -- heartbeat traffic and failure sweeps -----------------------------------
+
+    def _start_heartbeats(self, viewer_id: str) -> None:
+        if self._closing or viewer_id in self._heartbeat_timers:
+            return
+        # One callback object per viewer, reused across every tick: the
+        # heartbeat loop is the highest-volume traffic of the driver.
+        self._heartbeat_ticks[viewer_id] = partial(self._heartbeat_tick, viewer_id)
+        self._schedule_heartbeat(viewer_id)
+
+    def _schedule_heartbeat(self, viewer_id: str) -> None:
+        self._heartbeat_timers[viewer_id] = self.system.simulator.schedule(
+            self.heartbeat_period, self._heartbeat_ticks[viewer_id], label="heartbeat"
+        )
+
+    def _heartbeat_tick(self, viewer_id: str) -> None:
+        if self._closing:
+            self._drop_heartbeat_state(viewer_id)
+            return
+        lsc = self.system.gsc.lsc_of_connected_viewer(viewer_id)
+        if lsc is None:
+            # Swept away or torn down between ticks: the timer dies.
+            self._drop_heartbeat_state(viewer_id)
+            return
+        message = Heartbeat(
+            src=viewer_id, dst=lsc.lsc_id, sent_at=self._now, viewer_id=viewer_id
+        )
+        self.channel.send(
+            message,
+            self._deliver_heartbeat,
+            delay=self.channel.transit_delay(viewer_id, lsc.node_id),
+        )
+        self._schedule_heartbeat(viewer_id)
+
+    def _drop_heartbeat_state(self, viewer_id: str) -> None:
+        self._heartbeat_timers.pop(viewer_id, None)
+        self._heartbeat_ticks.pop(viewer_id, None)
+
+    def _stop_heartbeats(self, viewer_id: str) -> None:
+        handle = self._heartbeat_timers.pop(viewer_id, None)
+        self._heartbeat_ticks.pop(viewer_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _sweep(self) -> None:
+        if self._closing:
+            if self._sweeper is not None:
+                self._sweeper.stop()
+            return
+        started = self._started()
+        now = self._now
+        results = self.system.detect_failures(now)
+        self._timed("churn", started)
+        for result in results:
+            if result.departed:
+                self._stop_heartbeats(result.viewer_id)
+                self._notify_repairs(result, now)
+
+    def _notify_repairs(self, result: RepairResult, detected_at: float) -> None:
+        """Tell every still-connected orphan of a repair that it moved."""
+        orphaned_streams: Dict[str, List] = {}
+        for stream_id, orphan_id in result.orphaned:
+            orphaned_streams.setdefault(orphan_id, []).append(stream_id)
+        for orphan_id, stream_ids in orphaned_streams.items():
+            lsc = self.system.gsc.lsc_of_connected_viewer(orphan_id)
+            if lsc is None:
+                continue
+            session = lsc.session_of(orphan_id)
+            if session is None:
+                continue
+            # Of the subscriptions this orphan lost to the failed parent,
+            # the ones it still holds were re-parented (repaired).
+            repaired = sum(
+                1 for stream_id in stream_ids if stream_id in session.subscriptions
+            )
+            message = RepairNotify(
+                src=lsc.node_id,
+                dst=orphan_id,
+                sent_at=detected_at,
+                viewer_id=orphan_id,
+                repaired_subscriptions=repaired,
+            )
+            self.channel.send(message, self._deliver_repair_notify)

@@ -19,8 +19,6 @@ generated :class:`~repro.traces.workload.ViewerWorkload` schedule.
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.adaptation import AdaptationManager, DepartureResult, ViewChangeResult
@@ -32,6 +30,7 @@ from repro.core.controllers import (
 )
 from repro.core.layering import DelayLayerConfig
 from repro.core.recovery import (
+    DEFAULT_HEARTBEAT_PERIOD,
     DEFAULT_HEARTBEAT_TIMEOUT,
     FailoverResult,
     RecoveryManager,
@@ -39,6 +38,7 @@ from repro.core.recovery import (
     RepairStrategy,
     failover_lsc,
 )
+from repro.core.session import EventDrivenSession, InstantDriver
 from repro.metrics.collectors import SessionMetrics, SystemSnapshot
 from repro.model.cdn import CDN
 from repro.model.producer import ProducerSite
@@ -238,6 +238,19 @@ class TeleCastSystem:
         if lsc is not None:
             self._recovery[lsc.lsc_id].detector.heartbeat(viewer_id, time)
 
+    def renew_heartbeat(self, lsc_id: str, viewer_id: str, now: float) -> None:
+        """Renew a heartbeat addressed to one specific LSC (delivery path).
+
+        The simulated control plane addresses each heartbeat message to
+        the LSC the viewer knew at send time; a message landing on a
+        controller that no longer exists or no longer tracks the viewer
+        (failover, repair, departure while in flight) is dropped, exactly
+        like a datagram to a stale address.
+        """
+        manager = self._recovery.get(lsc_id)
+        if manager is not None and viewer_id in manager.detector:
+            manager.detector.heartbeat(viewer_id, now)
+
     def detect_failures(self, now: Optional[float] = None) -> List[RepairResult]:
         """Sweep every LSC's failure detector and repair timed-out viewers."""
         time = self.simulator.now if now is None else now
@@ -341,59 +354,58 @@ class TeleCastSystem:
         *,
         snapshot_every: Optional[int] = None,
         profile: bool = False,
+        control_plane: str = "instant",
+        heartbeat_period: Optional[float] = None,
+        control_delay_scale: float = 1.0,
     ) -> SessionMetrics:
         """Replay a workload schedule through the system.
 
-        Events are applied in time order on the simulator clock.  When
-        ``snapshot_every`` is given, a system snapshot is recorded after
-        every that-many join events (and once at the end), which is how the
-        scaling figures collect one curve from a single run.
+        With ``control_plane="instant"`` (the default, and the seed
+        semantics) events are applied the moment they fire, in time order
+        on the simulator clock.  With ``control_plane="simulated"`` every
+        event instead becomes an in-flight control message delivered with
+        latency drawn from the delay model
+        (:class:`~repro.core.session.EventDrivenSession`): races become
+        first-class outcomes, connected viewers emit heartbeat traffic
+        every ``heartbeat_period`` seconds, and observed (simulated-clock)
+        join and view-change latencies are recorded next to the analytic
+        ones.  ``control_delay_scale`` multiplies every transit delay;
+        ``0.0`` makes the simulated driver's placement and acceptance
+        decisions match the instant driver exactly.
+
+        When ``snapshot_every`` is given, a system snapshot is recorded
+        after every that-many join events (and once at the end), which is
+        how the scaling figures collect one curve from a single run.
 
         With ``profile`` set, wall-clock time is accumulated per phase
         (join / view_change / churn / metrics) into
         :attr:`SessionMetrics.phase_timings`; the replayed events and all
         recorded metrics are unaffected.
         """
-        by_id = {viewer.viewer_id: viewer for viewer in viewers}
-        clock = time.perf_counter if profile else None
-        timed = self.metrics.add_phase_time
-        joins_seen = 0
-        for event in sorted(events, key=lambda e: (e.time, e.viewer_id)):
-            self.simulator.run(until=event.time)
-            started = clock() if clock else 0.0
-            if event.kind == "join":
-                if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
-                    continue  # duplicate join (e.g. a churn rejoin racing a base event)
-                viewer = by_id[event.viewer_id]
-                view = views[event.view_index % len(views)]
-                self.join_viewer(viewer, view, event.time)
-                if clock:
-                    timed("join", clock() - started)
-                joins_seen += 1
-                if snapshot_every and joins_seen % snapshot_every == 0:
-                    started = clock() if clock else 0.0
-                    self.take_snapshot()
-                    if clock:
-                        timed("metrics", clock() - started)
-            elif event.kind == "view_change":
-                if self.gsc.lsc_of_connected_viewer(event.viewer_id) is not None:
-                    view = views[event.view_index % len(views)]
-                    self.change_view(event.viewer_id, view, event.time)
-                if clock:
-                    timed("view_change", clock() - started)
-            elif event.kind == "depart":
-                self.depart_viewer(event.viewer_id, event.time)
-                if clock:
-                    timed("churn", clock() - started)
-            elif event.kind == "fail":
-                self.fail_viewer(event.viewer_id, event.time)
-                if clock:
-                    timed("churn", clock() - started)
-        started = clock() if clock else 0.0
-        self.take_snapshot()
-        if clock:
-            timed("metrics", clock() - started)
-        return self.metrics
+        if control_plane == "instant":
+            driver = InstantDriver(
+                self, viewers, views, snapshot_every=snapshot_every, profile=profile
+            )
+        elif control_plane == "simulated":
+            driver = EventDrivenSession(
+                self,
+                viewers,
+                views,
+                snapshot_every=snapshot_every,
+                profile=profile,
+                heartbeat_period=(
+                    DEFAULT_HEARTBEAT_PERIOD
+                    if heartbeat_period is None
+                    else heartbeat_period
+                ),
+                delay_scale=control_delay_scale,
+            )
+        else:
+            raise ValueError(
+                f"unknown control plane {control_plane!r}; "
+                "expected 'instant' or 'simulated'"
+            )
+        return driver.run(events)
 
     # -- convenience -----------------------------------------------------------------------
 

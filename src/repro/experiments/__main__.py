@@ -7,9 +7,11 @@ Examples::
     python -m repro.experiments 13c --viewers 400 --step 100
     python -m repro.experiments run --viewers 2000 --lscs 3 --profile
     python -m repro.experiments run --viewers 10000 --profile --replay-frames 0
+    python -m repro.experiments run --viewers 400 --control-plane simulated
     python -m repro.experiments sweep --list
     python -m repro.experiments sweep smoke --jobs 2
     python -m repro.experiments sweep scale10k --jobs 3
+    python -m repro.experiments sweep --preset controlplane --jobs 2
     python -m repro.experiments compare results/smoke.jsonl \\
         --baseline results/baseline_smoke.jsonl
 
@@ -165,6 +167,20 @@ def build_run_parser() -> argparse.ArgumentParser:
         "through the data plane (TeleCast only)",
     )
     parser.add_argument(
+        "--control-plane",
+        choices=("instant", "simulated"),
+        default=PAPER_CONFIG.control_plane,
+        help="apply events instantly (seed semantics) or deliver them as "
+        "simulated control messages with in-flight latency",
+    )
+    parser.add_argument(
+        "--heartbeat-period",
+        type=float,
+        default=PAPER_CONFIG.heartbeat_period,
+        help="heartbeat/failure-sweep interval of the simulated control "
+        "plane (seconds)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print the per-phase wall-clock breakdown "
@@ -209,14 +225,22 @@ def _run_main(argv: List[str]) -> int:
         parser.error("--views must be > 0")
     if args.replay_frames is not None and args.replay_frames < 0:
         parser.error("--replay-frames must be >= 0")
+    if args.heartbeat_period <= 0:
+        parser.error("--heartbeat-period must be > 0")
     config = PAPER_CONFIG.with_scaled_population(
-        args.viewers, num_lscs=args.lscs, num_views=args.views
+        args.viewers,
+        num_lscs=args.lscs,
+        num_views=args.views,
+        control_plane=args.control_plane,
+        heartbeat_period=args.heartbeat_period,
     )
     import time as _time
 
     if args.system == "random":
         if args.replay_frames is not None:
             parser.error("--replay-frames requires --system telecast")
+        if args.control_plane != "instant":
+            parser.error("--control-plane simulated requires --system telecast")
         started = _time.perf_counter()
         result = run_random_scenario(config, snapshot_every=args.snapshot_every)
         elapsed = _time.perf_counter() - started
@@ -236,6 +260,9 @@ def _run_main(argv: List[str]) -> int:
         scenario.views,
         snapshot_every=args.snapshot_every,
         profile=args.profile,
+        control_plane=config.control_plane,
+        heartbeat_period=config.heartbeat_period,
+        control_delay_scale=config.control_delay_scale,
     )
     if args.profile:
         metrics.add_phase_time("build", build_seconds)
@@ -262,6 +289,14 @@ def _run_main(argv: List[str]) -> int:
         f"cdn_fraction={snapshot.cdn_fraction:.4f}, "
         f"cdn={snapshot.cdn_outbound_mbps:.1f}Mbps"
     )
+    if "observed_join_delay_p50" in summary:
+        analytic = summary.get("join_delay_p50", float("nan"))
+        print(
+            f"control plane: observed join p50={summary['observed_join_delay_p50']:.3f}s "
+            f"(analytic p50={analytic:.3f}s), "
+            f"{int(summary.get('control_messages_sent', 0))} messages, "
+            f"{int(summary.get('stale_control_messages', 0))} stale"
+        )
     if args.profile:
         print(_format_profile(metrics.phase_timings))
     return 0
@@ -274,6 +309,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         description="Run a named parameter sweep, optionally process-parallel.",
     )
     parser.add_argument("name", nargs="?", help="sweep name, e.g. smoke, scale")
+    parser.add_argument(
+        "--preset",
+        default=None,
+        help="alias for the positional sweep name (e.g. --preset controlplane)",
+    )
     parser.add_argument(
         "--viewers", type=int, default=400, help="population scale of the sweep"
     )
@@ -340,6 +380,11 @@ _SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
         "--step": "fixed 2k/5k/10k population points",
         "--lscs": "pinned to 5 region-sharded LSCs",
     },
+    "controlplane": {
+        "--viewers": "fixed-scale control-plane grid",
+        "--step": "no population axis",
+        "--lscs": "fixed-scale control-plane grid",
+    },
 }
 
 
@@ -363,6 +408,9 @@ def _sweep_main(argv: List[str]) -> int:
         parser.error("--viewers must be > 0")
     if args.lscs <= 0:
         parser.error("--lscs must be > 0")
+    if args.name and args.preset and args.name != args.preset:
+        parser.error("give the sweep name either positionally or via --preset, not both")
+    args.name = args.name or args.preset
     sweeps = named_sweeps(
         viewers=args.viewers, step=max(10, args.step), num_lscs=args.lscs
     )

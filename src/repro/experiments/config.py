@@ -26,8 +26,9 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.core.layering import DelayLayerConfig
+from repro.core.recovery import DEFAULT_HEARTBEAT_PERIOD
 from repro.traces.workload import BandwidthDistribution, ChurnConfig
-from repro.util.validation import require_positive
+from repro.util.validation import require_non_negative, require_positive
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,20 @@ class ExperimentConfig:
     #: latency trace's geographic regions are sharded across them and
     #: every viewer joins through the LSC of its region (Section III).
     num_lscs: int = 1
+    #: How workload events reach the controllers: ``"instant"`` applies
+    #: every operation the moment its event fires (the seed semantics,
+    #: pinned by the golden smoke test); ``"simulated"`` delivers typed
+    #: control messages with in-flight latency on the event engine, so
+    #: concurrent joins, stale view changes and heartbeat-driven failure
+    #: detection become first-class, deterministic outcomes.
+    control_plane: str = "instant"
+    #: Interval between two heartbeat messages of a connected viewer (and
+    #: the failure-sweep period) under the simulated control plane.
+    heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD
+    #: Multiplier on every simulated control-message transit delay;
+    #: ``0.0`` forces instant delivery (placement then matches the
+    #: instant control plane exactly), ``1.0`` uses the latency matrix.
+    control_delay_scale: float = 1.0
 
     # Performance core.
     #: Whether the synthetic latency matrix derives pair delays lazily on
@@ -103,6 +118,13 @@ class ExperimentConfig:
         require_positive(self.num_views, "num_views")
         require_positive(self.stream_bandwidth_mbps, "stream_bandwidth_mbps")
         require_positive(self.num_lscs, "num_lscs")
+        if self.control_plane not in ("instant", "simulated"):
+            raise ValueError(
+                f"control_plane must be 'instant' or 'simulated', "
+                f"got {self.control_plane!r}"
+            )
+        require_positive(self.heartbeat_period, "heartbeat_period")
+        require_non_negative(self.control_delay_scale, "control_delay_scale")
         if self.d_max <= self.cdn_delta:
             raise ValueError("d_max must exceed the CDN delay Delta")
 

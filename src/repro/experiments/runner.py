@@ -206,6 +206,12 @@ def run_telecast_scenario(
     scenario is stateful (CDN reservations, viewer buffers) and can only
     be run once.
 
+    ``config.control_plane`` picks the workload driver: ``"instant"``
+    applies events synchronously (the seed semantics), ``"simulated"``
+    delivers them as in-flight control messages with latency and records
+    the observed join/view-change latency distributions next to the
+    analytic ones.
+
     With ``profile`` set, per-phase wall-clock times (scenario build,
     join, view_change, churn, metrics) are accumulated into
     ``metrics.phase_timings`` without affecting any recorded metric.
@@ -221,6 +227,9 @@ def run_telecast_scenario(
         scenario.views,
         snapshot_every=snapshot_every,
         profile=profile,
+        control_plane=config.control_plane,
+        heartbeat_period=config.heartbeat_period,
+        control_delay_scale=config.control_delay_scale,
     )
     if profile:
         metrics.add_phase_time("build", build_seconds)

@@ -35,6 +35,7 @@ from repro.experiments.sweep.grid import (
 )
 from repro.experiments.sweep.presets import (
     bandwidth_sweep,
+    controlplane_sweep,
     named_sweeps,
     scale10k_sweep,
     scale_sweep,
@@ -61,6 +62,7 @@ __all__ = [
     "SweepSpec",
     "bandwidth_sweep",
     "compare_records",
+    "controlplane_sweep",
     "config_hash",
     "derive_seed_offset",
     "execute_point",

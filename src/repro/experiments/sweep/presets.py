@@ -135,6 +135,55 @@ def scale10k_sweep(
     )
 
 
+def controlplane_sweep(
+    base: ExperimentConfig = PAPER_CONFIG, *, viewers: int = 120, num_lscs: int = 3
+) -> SweepSpec:
+    """Control-plane delay sensitivity on the event-driven driver.
+
+    Every point runs with ``control_plane="simulated"``: joins arrive as
+    in-flight messages over a spread Poisson schedule with graceful and
+    abrupt churn, so controller processing delay shapes the observed
+    join latency and the heartbeat period decides how fast silent
+    failures are swept.  The grid crosses the per-step processing delay
+    (zero, the paper's 50 ms, and a slow 200 ms controller) with a safe
+    heartbeat period and one *beyond the 10 s failure timeout* -- in the
+    lazy regime healthy viewers go silent longer than the detector
+    tolerates and are spuriously repaired, the pathology the
+    event-driven control plane exists to expose.  Summaries carry both
+    the analytic (``join_delay_*``) and the observed
+    (``observed_join_delay_*``) percentiles, which is the data behind
+    the observed-vs-analytic comparison in ``docs/BENCHMARKS.md``.
+    """
+    from repro.traces.workload import ChurnConfig
+
+    scaled = base.with_scaled_population(
+        viewers,
+        num_lscs=num_lscs,
+        control_plane="simulated",
+        arrival_rate_per_second=4.0,
+        view_change_probability=0.1,
+        departure_probability=0.1,
+        churn=ChurnConfig(
+            failure_rate_per_second=0.1,
+            graceful_fraction=0.25,
+            rejoin_probability=0.3,
+            duration=120.0,
+        ),
+    )
+    return SweepSpec(
+        name="controlplane",
+        base=scaled,
+        grid={
+            "control_processing_delay": [0.0, 0.05, 0.2],
+            "heartbeat_period": [4.0, 12.0],
+        },
+        # One fixed world per axis point: deriving per-point seeds would
+        # vary the workload along with the control-plane knobs, burying
+        # the delay sensitivity under population noise.
+        derive_seeds=False,
+    )
+
+
 def named_sweeps(
     *,
     viewers: int = 400,
@@ -148,4 +197,5 @@ def named_sweeps(
         "scale10k": scale10k_sweep(),
         "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
         "shards": shard_sweep(viewers=viewers),
+        "controlplane": controlplane_sweep(),
     }

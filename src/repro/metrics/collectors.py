@@ -86,6 +86,20 @@ class SessionMetrics:
     failover_lost_viewers: int = 0
     join_delays: List[float] = field(default_factory=list)
     view_change_delays: List[float] = field(default_factory=list)
+    #: Observed (simulated-clock) latencies recorded by the event-driven
+    #: control plane: the time from a viewer's intent until the matching
+    #: ack/notify message was delivered.  Empty under the instant control
+    #: plane, whose delays are the analytic estimates above -- comparing
+    #: the two distributions is how the paper's delay model is validated.
+    observed_join_delays: List[float] = field(default_factory=list)
+    observed_view_change_delays: List[float] = field(default_factory=list)
+    observed_repair_delays: List[float] = field(default_factory=list)
+    #: Control-message traffic of the event-driven driver; all zero under
+    #: the instant control plane.  ``stale_control_messages`` counts
+    #: deliveries whose subject already left the session (races).
+    control_messages_sent: int = 0
+    control_messages_delivered: int = 0
+    stale_control_messages: int = 0
     snapshots: List[SystemSnapshot] = field(default_factory=list)
     #: Wall-clock seconds spent per phase ("build", "join", "view_change",
     #: "churn", "replay", "metrics"), populated only by profiled runs
@@ -135,6 +149,31 @@ class SessionMetrics:
         else:
             self.rejected_requests += 1
         self.view_change_delays.append(change_delay)
+
+    def record_observed_join(self, delay: float) -> None:
+        """Record the observed latency of one simulated join exchange."""
+        self.observed_join_delays.append(delay)
+
+    def record_observed_view_change(self, delay: float) -> None:
+        """Record the observed latency of one simulated view-change exchange."""
+        self.observed_view_change_delays.append(delay)
+
+    def record_observed_repair(self, delay: float) -> None:
+        """Record the observed detection-to-notify latency of one repair."""
+        self.observed_repair_delays.append(delay)
+
+    def record_stale_message(self) -> None:
+        """Count a control message delivered after its subject left."""
+        self.stale_control_messages += 1
+
+    def record_control_traffic(self, *, sent: int, delivered: int) -> None:
+        """Accumulate the control-channel counters of one driver run.
+
+        Stale deliveries are recorded individually via
+        :meth:`record_stale_message` as the driver observes them.
+        """
+        self.control_messages_sent += sent
+        self.control_messages_delivered += delivered
 
     def record_victims(self, *, victims: int, recovered: int) -> None:
         """Record a victim-recovery episode (departure or view change)."""
@@ -216,4 +255,25 @@ class SessionMetrics:
         if self.view_change_delays:
             summary["view_change_delay_p50"] = percentile(self.view_change_delays, 50.0)
             summary["view_change_delay_p95"] = percentile(self.view_change_delays, 95.0)
+        # Event-driven control-plane measurements: present only when the
+        # simulated driver ran, so instant-mode summaries stay byte-for-byte
+        # what the golden record pins.
+        if self.control_messages_sent:
+            summary["control_messages_sent"] = self.control_messages_sent
+            summary["control_messages_delivered"] = self.control_messages_delivered
+            summary["stale_control_messages"] = self.stale_control_messages
+        if self.observed_join_delays:
+            summary["observed_join_delay_p50"] = percentile(self.observed_join_delays, 50.0)
+            summary["observed_join_delay_p95"] = percentile(self.observed_join_delays, 95.0)
+        if self.observed_view_change_delays:
+            summary["observed_view_change_delay_p50"] = percentile(
+                self.observed_view_change_delays, 50.0
+            )
+            summary["observed_view_change_delay_p95"] = percentile(
+                self.observed_view_change_delays, 95.0
+            )
+        if self.observed_repair_delays:
+            summary["observed_repair_delay_p50"] = percentile(
+                self.observed_repair_delays, 50.0
+            )
         return summary

@@ -11,17 +11,17 @@ ints (:class:`~repro.net.ids.NodeInterner`) and delays live in flat
 triangular ``array('d')`` rows instead of a tuple-of-strings keyed dict,
 so a lookup costs two small dict probes and one array access and the
 whole matrix packs into contiguous memory.  The string API is unchanged;
-the old tuple-key dict is available only through the deprecated
-:attr:`LatencyMatrix._delays` shim.
+the seed's tuple-key ``_delays`` dict is gone -- use
+:meth:`LatencyMatrix.set_delay` / :meth:`LatencyMatrix.delay` /
+:meth:`LatencyMatrix.pairs` instead.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.net.ids import NodeInterner
 from repro.net.regions import RegionMap
@@ -154,23 +154,6 @@ class LatencyMatrix:
     def explicit_pair_count(self) -> int:
         """Number of pairs with an explicitly stored delay."""
         return self._explicit_count
-
-    @property
-    def _delays(self) -> Dict[Tuple[str, str], float]:
-        """Deprecated tuple-key dict view of the explicit delays.
-
-        The seed implementation stored delays in a ``{(a, b): delay}``
-        dict; code that reached into it still works through this
-        materialized copy, but writes to the returned dict are NOT
-        reflected in the matrix.  Use :meth:`set_delay` / :meth:`delay` /
-        :meth:`pairs` instead.
-        """
-        warnings.warn(
-            "LatencyMatrix._delays is deprecated; use set_delay()/delay()/pairs()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return {(a, b) if a <= b else (b, a): d for a, b, d in self.pairs()}
 
 
 @dataclass

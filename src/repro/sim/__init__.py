@@ -9,6 +9,7 @@ periodic processes and an event trace that experiments can inspect.
 from repro.sim.engine import Event, EventHandle, Simulator
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import SeededRandom
+from repro.sim.transport import ControlChannel, ControlMessage
 
 __all__ = [
     "Event",
@@ -16,4 +17,6 @@ __all__ = [
     "Simulator",
     "PeriodicProcess",
     "SeededRandom",
+    "ControlChannel",
+    "ControlMessage",
 ]

@@ -1,0 +1,193 @@
+"""Simulated control-plane transport: typed messages with in-flight latency.
+
+The synchronous control plane applies every viewer operation the instant
+its workload event fires.  This module supplies the missing middle: a
+:class:`ControlChannel` that turns each operation into a typed
+:class:`ControlMessage` scheduled on the discrete-event
+:class:`~repro.sim.engine.Simulator`, with a transit delay drawn from the
+:class:`~repro.net.latency.LatencyMatrix` propagation delays plus the
+:class:`~repro.net.latency.DelayModel` control processing constant.
+
+State mutates only when a message is *delivered*, so two joins racing for
+the same P2P slot, a view change arriving after its viewer failed, or a
+repair landing on a since-departed parent are first-class -- and, because
+the simulator breaks timestamp ties by scheduling order, fully
+deterministic -- outcomes.
+
+The channel's ``scale`` factor multiplies every transit delay; ``0.0``
+collapses the message plane back to instantaneous delivery (used by the
+equivalence tests that pin the simulated driver to the instant one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.latency import DelayModel
+from repro.sim.engine import EventHandle, Simulator
+from repro.util.validation import require_non_negative
+
+
+@dataclass(frozen=True, kw_only=True)
+class ControlMessage:
+    """Base class of every control-plane message.
+
+    ``src``/``dst`` are latency-matrix node ids (the channel derives the
+    default transit delay from them); ``sent_at`` is the simulation time
+    the originating intent fired, carried along so acks can report the
+    end-to-end observed latency of the exchange.
+    """
+
+    src: str
+    dst: str
+    sent_at: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class JoinRequest(ControlMessage):
+    """Viewer -> LSC: admit me to the session with this view."""
+
+    viewer_id: str
+    view_index: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class JoinAck(ControlMessage):
+    """LSC -> viewer: join outcome plus overlay/subscription fan-out."""
+
+    viewer_id: str
+    accepted: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class ViewChange(ControlMessage):
+    """Viewer -> LSC: switch me to another view."""
+
+    viewer_id: str
+    view_index: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class ViewChangeAck(ControlMessage):
+    """LSC -> viewer: view change outcome (CDN fast path served)."""
+
+    viewer_id: str
+    accepted: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class Heartbeat(ControlMessage):
+    """Viewer -> LSC: periodic liveness renewal."""
+
+    viewer_id: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class DepartNotice(ControlMessage):
+    """Viewer -> LSC: graceful leave announcement."""
+
+    viewer_id: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class FailureNotice(ControlMessage):
+    """Transport -> LSC: a viewer's connection dropped abruptly.
+
+    The crashed viewer sends nothing itself; this models the reset its
+    parents (or the OS) observe and report to the controller.
+    """
+
+    viewer_id: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class RepairNotify(ControlMessage):
+    """LSC -> orphan: you were re-parented after an upstream failure."""
+
+    viewer_id: str
+    repaired_subscriptions: int
+
+
+class ControlChannel:
+    """Schedules typed control messages on the simulator with latency.
+
+    Parameters
+    ----------
+    simulator:
+        The event engine deliveries are scheduled on.
+    delay_model:
+        Source of per-leg propagation delays and the control processing
+        constant.
+    scale:
+        Multiplier applied to every transit delay.  ``1.0`` models the
+        network as measured; ``0.0`` makes delivery instantaneous while
+        preserving the message ordering semantics.
+    """
+
+    def __init__(
+        self, simulator: Simulator, delay_model: DelayModel, *, scale: float = 1.0
+    ) -> None:
+        require_non_negative(scale, "scale")
+        self.simulator = simulator
+        self.delay_model = delay_model
+        self.scale = scale
+        self.sent = 0
+        self.delivered = 0
+        self._in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered."""
+        return self._in_flight
+
+    def transit_delay(self, src: str, dst: str) -> float:
+        """Unscaled one-leg transit delay: propagation plus processing."""
+        dm = self.delay_model
+        return dm.propagation(src, dst) + dm.control_processing_delay
+
+    def path_delay(self, *hops: str, processing_steps: int = 1) -> float:
+        """Unscaled delay of a multi-hop control path.
+
+        ``hops`` are the node ids the message traverses in order; the
+        result is the sum of per-leg propagation delays plus
+        ``processing_steps`` controller processing delays.
+        """
+        dm = self.delay_model
+        total = processing_steps * dm.control_processing_delay
+        for a, b in zip(hops, hops[1:]):
+            total += dm.propagation(a, b)
+        return total
+
+    def send(
+        self,
+        message: ControlMessage,
+        handler: Callable[[ControlMessage], Any],
+        *,
+        delay: Optional[float] = None,
+    ) -> EventHandle:
+        """Put a message in flight; ``handler(message)`` runs at delivery.
+
+        ``delay`` is the message's *unscaled* protocol transit time
+        (compose it from :meth:`transit_delay` / :meth:`path_delay` or
+        the controllers' per-leg delay methods); without one, the default
+        single-leg :meth:`transit_delay` between the message's ``src``
+        and ``dst`` applies.  The channel's ``scale`` is applied exactly
+        once, here, so no caller can accidentally break the
+        ``scale=0.0`` instant-delivery guarantee for one message kind.
+        """
+        if delay is None:
+            delay = self.transit_delay(message.src, message.dst)
+        delay *= self.scale
+        require_non_negative(delay, "delay")
+        self.sent += 1
+        self._in_flight += 1
+
+        def deliver() -> None:
+            self._in_flight -= 1
+            self.delivered += 1
+            handler(message)
+
+        return self.simulator.schedule(
+            delay, deliver, label=f"msg:{type(message).__name__}"
+        )

@@ -1,0 +1,302 @@
+"""Tests for the event-driven control plane (transport + driver).
+
+Covers the three properties the refactor promises:
+
+* **Equivalence** -- with every transit delay forced to zero, the
+  simulated driver's placement and acceptance decisions match the
+  instant driver exactly (the instant driver itself is pinned by the
+  golden smoke test).
+* **Determinism** -- the same seed with the simulated control plane
+  produces byte-identical metrics summaries run over run.
+* **Races as first-class outcomes** -- message arrival order decides who
+  wins the last P2P slot, and a view change can arrive after its viewer
+  failed without corrupting the session.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.telecast import TeleCastSystem, build_views
+from repro.experiments.config import PAPER_CONFIG
+from repro.experiments.runner import run_telecast_scenario
+from repro.model.cdn import CDN, CDN_NODE_ID
+from repro.model.producer import make_default_producers
+from repro.model.viewer import Viewer
+from repro.net.latency import DelayModel, LatencyMatrix
+from repro.sim.engine import Simulator
+from repro.sim.transport import ControlChannel, Heartbeat, JoinRequest
+from repro.traces.workload import ChurnConfig, ViewerEvent
+
+#: A dynamic scenario exercising every message type: spread arrivals,
+#: view changes, graceful departures and abrupt churn with rejoins.
+DYNAMIC_CONFIG = PAPER_CONFIG.with_scaled_population(
+    60,
+    num_lscs=2,
+    arrival_rate_per_second=5.0,
+    view_change_probability=0.2,
+    departure_probability=0.2,
+    churn=ChurnConfig(
+        failure_rate_per_second=0.1,
+        graceful_fraction=0.25,
+        rejoin_probability=0.3,
+        duration=60.0,
+    ),
+)
+
+
+class TestControlChannel:
+    def _channel(self, scale=1.0):
+        sim = Simulator()
+        model = DelayModel(
+            LatencyMatrix(default_delay=0.05),
+            control_processing_delay=0.05,
+        )
+        return sim, ControlChannel(sim, model, scale=scale)
+
+    def test_default_transit_delay_is_propagation_plus_processing(self):
+        _sim, channel = self._channel()
+        assert channel.transit_delay("a", "b") == pytest.approx(0.1)
+
+    def test_scale_is_applied_once_at_send(self):
+        # Helpers return unscaled protocol delays; the scale multiplies
+        # exactly at send time, so explicit and default delays behave the
+        # same under scale=0 (instant delivery).
+        sim, channel = self._channel(scale=0.0)
+        assert channel.transit_delay("a", "b") == pytest.approx(0.1)
+        delivered_at = []
+        message = Heartbeat(src="a", dst="b", sent_at=0.0, viewer_id="a")
+        channel.send(message, lambda _msg: delivered_at.append(sim.now))
+        channel.send(message, lambda _msg: delivered_at.append(sim.now), delay=5.0)
+        sim.run()
+        assert delivered_at == [0.0, 0.0]
+
+    def test_path_delay_sums_legs(self):
+        _sim, channel = self._channel()
+        # two 50 ms legs + one processing step
+        assert channel.path_delay("v", "GSC", "LSC-0") == pytest.approx(0.15)
+
+    def test_send_tracks_in_flight_and_delivers_at_transit_time(self):
+        sim, channel = self._channel()
+        seen = []
+        message = Heartbeat(src="a", dst="b", sent_at=0.0, viewer_id="a")
+        channel.send(message, seen.append)
+        assert channel.sent == 1
+        assert channel.in_flight == 1
+        assert channel.delivered == 0
+        sim.run()
+        assert sim.now == pytest.approx(0.1)
+        assert seen == [message]
+        assert channel.in_flight == 0
+        assert channel.delivered == 1
+
+    def test_negative_scale_rejected(self):
+        sim = Simulator()
+        model = DelayModel(LatencyMatrix())
+        with pytest.raises(ValueError):
+            ControlChannel(sim, model, scale=-1.0)
+
+    def test_messages_are_frozen(self):
+        message = JoinRequest(
+            src="v", dst="LSC-0", sent_at=0.0, viewer_id="v", view_index=0
+        )
+        with pytest.raises(AttributeError):
+            message.view_index = 1
+
+
+class TestZeroDelayEquivalence:
+    """Acceptance criterion: simulated @ zero delay == instant, exactly."""
+
+    def test_placement_and_acceptance_match_instant(self):
+        instant = run_telecast_scenario(DYNAMIC_CONFIG, snapshot_every=10)
+        simulated = run_telecast_scenario(
+            DYNAMIC_CONFIG.with_(
+                control_plane="simulated", control_delay_scale=0.0
+            ),
+            snapshot_every=10,
+        )
+        si = instant.final_snapshot
+        ss = simulated.final_snapshot
+        assert ss.accepted_stream_counts == si.accepted_stream_counts
+        assert ss.max_layers == si.max_layers
+        assert ss.num_viewers == si.num_viewers
+        assert ss.active_subscriptions == si.active_subscriptions
+        assert ss.cdn_subscriptions == si.cdn_subscriptions
+        assert simulated.cdn_outbound_mbps == si.cdn_outbound_mbps == instant.cdn_outbound_mbps
+        mi = instant.metrics
+        ms = simulated.metrics
+        assert ms.accepted_requests == mi.accepted_requests
+        assert ms.rejected_requests == mi.rejected_requests
+        assert ms.total_accepted_streams == mi.total_accepted_streams
+        assert ms.abrupt_departures == mi.abrupt_departures
+        assert ms.repaired_subscriptions_p2p == mi.repaired_subscriptions_p2p
+        assert ms.repaired_subscriptions_cdn == mi.repaired_subscriptions_cdn
+        # Even the analytic delay samples coincide: the same joins were
+        # admitted at the same clock times with the same parents.
+        assert ms.join_delays == mi.join_delays
+        assert ms.view_change_delays == mi.view_change_delays
+        # The snapshot cadence (every N applied joins) is preserved too.
+        assert len(ms.snapshots) == len(mi.snapshots)
+
+    def test_zero_delay_observed_latency_is_zero(self):
+        simulated = run_telecast_scenario(
+            DYNAMIC_CONFIG.with_(
+                control_plane="simulated", control_delay_scale=0.0
+            ),
+            snapshot_every=None,
+        )
+        assert simulated.metrics.observed_join_delays
+        assert all(delay == 0.0 for delay in simulated.metrics.observed_join_delays)
+
+
+class TestMessageLevelDeterminism:
+    """Acceptance criterion: same seed -> byte-identical summaries."""
+
+    def test_same_seed_twice_is_byte_identical(self):
+        config = DYNAMIC_CONFIG.with_(control_plane="simulated")
+        first = run_telecast_scenario(config, snapshot_every=10)
+        second = run_telecast_scenario(config, snapshot_every=10)
+        assert json.dumps(first.metrics.summary(), sort_keys=True) == json.dumps(
+            second.metrics.summary(), sort_keys=True
+        )
+
+    def test_simulated_run_records_observed_distributions(self):
+        config = DYNAMIC_CONFIG.with_(control_plane="simulated")
+        result = run_telecast_scenario(config, snapshot_every=None)
+        summary = result.metrics.summary()
+        assert summary["control_messages_sent"] > 0
+        assert "observed_join_delay_p50" in summary
+        assert "join_delay_p50" in summary  # analytic prediction sits alongside
+        # Uncontended joins observe exactly the analytic protocol delay, so
+        # the two distributions sit on the same scale.
+        assert summary["observed_join_delay_p50"] == pytest.approx(
+            summary["join_delay_p50"], rel=0.5
+        )
+
+
+def _race_world(fast_viewer: str, slow_viewer: str):
+    """One stream, one free P2P slot, two contenders with unequal delays.
+
+    The root viewer joins first and is fed by the CDN, exhausting its
+    capacity; its outbound bandwidth forwards exactly one copy.  Whichever
+    contender's JoinRequest is *delivered* first takes that slot; the
+    other finds neither a free slot nor CDN headroom and is rejected.
+    """
+    producers = make_default_producers(1, 1, stream_bandwidth_mbps=2.0)
+    matrix = LatencyMatrix(default_delay=0.05)
+    matrix.set_delay(fast_viewer, "LSC-0", 0.01)
+    matrix.set_delay(slow_viewer, "LSC-0", 0.2)
+    delay_model = DelayModel(matrix, control_processing_delay=0.05)
+    cdn = CDN(2.0, delta=60.0, num_edge_servers=1)
+    system = TeleCastSystem(producers, cdn, delay_model)
+    views = build_views(producers, num_views=1, streams_per_site=1)
+    viewers = [
+        Viewer(viewer_id="root", inbound_capacity_mbps=12.0, outbound_capacity_mbps=2.0),
+        Viewer(viewer_id="a", inbound_capacity_mbps=12.0, outbound_capacity_mbps=0.0),
+        Viewer(viewer_id="b", inbound_capacity_mbps=12.0, outbound_capacity_mbps=0.0),
+    ]
+    events = [
+        ViewerEvent(time=0.0, kind="join", viewer_id="root"),
+        ViewerEvent(time=10.0, kind="join", viewer_id="a"),
+        ViewerEvent(time=10.0, kind="join", viewer_id="b"),
+    ]
+    system.run_workload(viewers, events, views, control_plane="simulated")
+    return system
+
+
+class TestLastSlotRace:
+    """Acceptance criterion: message arrival order decides contention."""
+
+    def test_closer_viewer_wins_the_last_slot(self):
+        system = _race_world(fast_viewer="a", slow_viewer="b")
+        winner = system.lsc_of("a")
+        assert winner is not None
+        (subscription,) = winner.session_of("a").subscriptions.values()
+        assert subscription.parent_id == "root"
+        assert not subscription.via_cdn
+        assert system.lsc_of("b") is None
+        assert system.metrics.rejected_requests == 1
+
+    def test_swapping_delays_flips_the_winner(self):
+        system = _race_world(fast_viewer="b", slow_viewer="a")
+        winner = system.lsc_of("b")
+        assert winner is not None
+        (subscription,) = winner.session_of("b").subscriptions.values()
+        assert subscription.parent_id == "root"
+        assert system.lsc_of("a") is None
+        assert system.metrics.rejected_requests == 1
+
+    def test_instant_mode_has_no_race(self):
+        # Under the instant control plane the sorted event order decides:
+        # viewer "a" always wins the slot regardless of network distance.
+        for fast, slow in (("a", "b"), ("b", "a")):
+            producers = make_default_producers(1, 1, stream_bandwidth_mbps=2.0)
+            matrix = LatencyMatrix(default_delay=0.05)
+            matrix.set_delay(fast, "LSC-0", 0.01)
+            matrix.set_delay(slow, "LSC-0", 0.2)
+            system = TeleCastSystem(
+                producers, CDN(2.0, delta=60.0, num_edge_servers=1), DelayModel(matrix)
+            )
+            views = build_views(producers, num_views=1, streams_per_site=1)
+            viewers = [
+                Viewer("root", inbound_capacity_mbps=12.0, outbound_capacity_mbps=2.0),
+                Viewer("a", inbound_capacity_mbps=12.0, outbound_capacity_mbps=0.0),
+                Viewer("b", inbound_capacity_mbps=12.0, outbound_capacity_mbps=0.0),
+            ]
+            events = [
+                ViewerEvent(time=0.0, kind="join", viewer_id="root"),
+                ViewerEvent(time=10.0, kind="join", viewer_id="a"),
+                ViewerEvent(time=10.0, kind="join", viewer_id="b"),
+            ]
+            system.run_workload(viewers, events, views)
+            assert system.lsc_of("a") is not None
+            assert system.lsc_of("b") is None
+
+
+class TestStaleMessages:
+    def _flat_system(self):
+        producers = make_default_producers()
+        delay_model = DelayModel(
+            LatencyMatrix(default_delay=0.05), control_processing_delay=0.05
+        )
+        return TeleCastSystem(producers, CDN(10_000.0, delta=60.0), delay_model), producers
+
+    def test_view_change_arriving_after_viewer_failed_is_stale(self):
+        system, producers = self._flat_system()
+        views = build_views(producers, num_views=2, streams_per_site=3)
+        viewers = [
+            Viewer("v-0", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0),
+            Viewer("v-1", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0),
+        ]
+        events = [
+            ViewerEvent(time=0.0, kind="join", viewer_id="v-0"),
+            ViewerEvent(time=0.0, kind="join", viewer_id="v-1"),
+            # The failure notice (sent 4.9, transit 0.1) lands at 5.0; the
+            # view change (sent 5.0) lands at 5.1 -- after its viewer died.
+            ViewerEvent(time=4.9, kind="fail", viewer_id="v-0"),
+            ViewerEvent(time=5.0, kind="view_change", viewer_id="v-0", view_index=1),
+        ]
+        metrics = system.run_workload(viewers, events, views, control_plane="simulated")
+        assert system.lsc_of("v-0") is None
+        assert metrics.abrupt_departures == 1
+        assert metrics.stale_control_messages >= 1
+        assert metrics.view_change_delays == []  # the change was never applied
+        assert system.lsc_of("v-1") is not None  # bystander unharmed
+
+    def test_inflight_ack_state_is_visible_then_cleared(self):
+        system, producers = self._flat_system()
+        views = build_views(producers, num_views=1, streams_per_site=3)
+        viewers = [Viewer("v-0", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0)]
+        events = [ViewerEvent(time=0.0, kind="join", viewer_id="v-0")]
+        system.run_workload(viewers, events, views, control_plane="simulated")
+        # After the run every staged ack has been delivered and cleared.
+        for lsc in system.gsc.lscs:
+            assert lsc.inflight_acks == {}
+        assert system.metrics.observed_join_delays
+        # Observed latency equals the analytic protocol estimate for an
+        # uncontended join (same legs, same delay model).
+        assert system.metrics.observed_join_delays[0] == pytest.approx(
+            system.metrics.join_delays[0]
+        )

@@ -185,6 +185,20 @@ class TestJoin:
         delay = lsc.view_change_fast_path_delay(Viewer(viewer_id="u1"))
         assert 0.0 < delay < 0.5
 
+    def test_message_legs_sum_to_analytic_delays(self, lsc):
+        # The simulated control plane schedules the request and ack legs
+        # as separate messages; together they must reproduce the analytic
+        # protocol estimates (`_join_delay` keeps its float-op order for
+        # the golden test, so equality here is approximate to the ulp).
+        viewer = Viewer(viewer_id="u1")
+        for parents in ((), ("p1",), ("p1", "p2")):
+            assert lsc.join_request_delay(viewer) + lsc.join_ack_delay(
+                viewer, parents
+            ) == pytest.approx(lsc._join_delay(viewer, parents), rel=1e-12)
+        assert lsc.view_change_request_delay(viewer) + lsc.view_change_ack_delay(
+            viewer
+        ) == pytest.approx(lsc.view_change_fast_path_delay(viewer), rel=1e-12)
+
 
 class TestOverlayProperty:
     def test_higher_outbound_viewers_sit_closer_to_the_root(self, lsc, default_view):

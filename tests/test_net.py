@@ -142,12 +142,14 @@ class TestLatencyMatrix:
         assert matrix.nodes == ["solo"]
         assert list(matrix.pairs()) == []
 
-    def test_deprecated_delays_shim_warns(self):
+    def test_tuple_key_delays_shim_is_gone(self):
+        # PR 3 left the seed's `{(a, b): delay}` dict behind a deprecated
+        # `_delays` property; the migration is complete and the shim (and
+        # its test-only escape hatch) must not resurface.
         matrix = LatencyMatrix()
         matrix.set_delay("a", "b", 0.02)
-        with pytest.deprecated_call():
-            delays = matrix._delays
-        assert delays == {("a", "b"): 0.02}
+        assert not hasattr(matrix, "_delays")
+        assert list(matrix.pairs()) == [("a", "b", 0.02)]
 
     def test_interner_exposed_in_insertion_order(self):
         matrix = LatencyMatrix()

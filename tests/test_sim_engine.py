@@ -162,6 +162,79 @@ class TestRun:
         assert [event.time for event in sim.history] == [1.0, 2.0]
 
 
+class TestEdgeCases:
+    def test_run_until_fires_events_exactly_at_boundary(self):
+        # run(until=t) is inclusive: an event at exactly t executes and the
+        # clock lands on t, while anything strictly later stays queued.
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("at-boundary"))
+        sim.schedule(2.0000001, lambda: fired.append("after"))
+        executed = sim.run(until=2.0)
+        assert executed == 1
+        assert fired == ["at-boundary"]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_boundary_event_scheduled_from_callback(self):
+        # A callback firing at t that schedules another zero-delay event at
+        # t: the new event is still within `until` and fires in the same run.
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(0.0, lambda: fired.append("inner"))
+
+        sim.schedule(3.0, outer)
+        assert sim.run(until=3.0) == 2
+        assert fired == ["outer", "inner"]
+
+    def test_cancel_of_already_cancelled_handle_is_stable(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.cancel() is True
+        # The second (and any further) cancel is a no-op that neither
+        # revives the event nor flips any state.
+        assert handle.cancel() is False
+        assert handle.cancel() is False
+        assert handle.cancelled and not handle.fired
+        assert sim.run() == 0
+        assert handle.cancelled and not handle.fired
+
+    def test_fifo_ties_across_schedules_made_inside_callbacks(self):
+        # Tie-breaking is global scheduling order, not callback nesting:
+        # events queued *before* a callback runs keep priority over
+        # same-time events that callback schedules, and events scheduled
+        # from inside one firing callback preserve their relative order.
+        sim = Simulator()
+        order = []
+
+        def burst():
+            order.append("burst")
+            sim.schedule(1.0, lambda: order.append("inner-a"))
+            sim.schedule(1.0, lambda: order.append("inner-b"))
+
+        sim.schedule(1.0, burst)
+        sim.schedule(2.0, lambda: order.append("pre-scheduled"))
+        sim.run()
+        assert order == ["burst", "pre-scheduled", "inner-a", "inner-b"]
+
+    def test_zero_delay_chain_from_callback_runs_this_step(self):
+        sim = Simulator()
+        order = []
+
+        def chain(depth):
+            order.append(depth)
+            if depth < 3:
+                sim.schedule(0.0, lambda: chain(depth + 1))
+
+        sim.schedule(5.0, lambda: chain(0))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 5.0
+
+
 class TestPeriodicProcess:
     def test_ticks_at_period(self):
         sim = Simulator()

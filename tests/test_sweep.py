@@ -337,7 +337,14 @@ class TestCompare:
 class TestPresets:
     def test_named_sweeps_cover_the_cli_names(self):
         sweeps = named_sweeps()
-        assert set(sweeps) == {"smoke", "scale", "scale10k", "bandwidth", "shards"}
+        assert set(sweeps) == {
+            "smoke",
+            "scale",
+            "scale10k",
+            "bandwidth",
+            "shards",
+            "controlplane",
+        }
 
     def test_scale10k_sweeps_an_order_of_magnitude(self):
         spec = named_sweeps()["scale10k"]
