@@ -1,0 +1,266 @@
+"""Event-driven data-plane benchmark (simulated vs offline frame replay).
+
+The simulated data plane turns the offline constant-delay replay into
+typed data messages on the event engine, adding per-edge bandwidth
+serialization, loss and QoE playout accounting.  That machinery must stay
+cheap -- the per-frame record/buffer work dominates either way -- and it
+must preserve the paper's view-synchronization property.
+
+This benchmark builds one joins-only scenario, replays the full synthetic
+TEEVE trace through the built overlay twice -- once with the offline
+:class:`~repro.core.dataplane.OverlayDataPlane`, once with the simulated
+:class:`~repro.core.dataplane.SimulatedDataPlane` at zero loss -- and
+emits the machine-readable ``BENCH_dataplane.json`` record.  The script
+exits non-zero when
+
+* the simulated replay is more than ``--max-slowdown`` (default 2x)
+  slower than the offline replay in wall-clock time,
+* the two replays disagree on delivery counts or total delay mass
+  (parity: at zero extra transit, zero loss and unconstrained bandwidth
+  the simulated plane must reproduce the offline schedule), or
+* fewer than ``--skew-fraction`` (default 99%) of multi-stream viewers
+  observe a renderer-visible inter-stream skew within ``d_buff`` at zero
+  loss (Layer Property 2, measured on delivered frames).
+
+A small loss sweep (report-only, truncated trace) is appended to the
+record; it is the data behind the skew-vs-``d_buff`` table in
+``docs/BENCHMARKS.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --viewers 300 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.dataplane import DataPlaneConfig, OverlayDataPlane, SimulatedDataPlane
+from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
+from repro.experiments.runner import build_scenario, build_telecast_system
+from repro.sim.rng import SeededRandom
+from repro.traces.teeve import TeeveSessionTrace
+
+#: Population of the benchmark scenario (the acceptance gate scale).
+DEFAULT_VIEWERS = 1000
+
+#: Allowed wall-clock factor of the simulated over the offline replay.
+DEFAULT_MAX_SLOWDOWN = 2.0
+
+#: Required fraction of multi-stream viewers with skew <= d_buff.
+DEFAULT_SKEW_FRACTION = 0.99
+
+#: Loss rates of the report-only QoE sweep.
+LOSS_SWEEP = (0.0, 0.02, 0.05)
+
+#: Frames per stream of the report-only QoE sweep (the gated legs replay
+#: the full trace).
+LOSS_SWEEP_FRAMES = 200
+
+
+def _config(num_viewers: int) -> ExperimentConfig:
+    return PAPER_CONFIG.with_scaled_population(num_viewers, num_lscs=3)
+
+
+def _built_system(config: ExperimentConfig):
+    """A TeleCast system with the whole population joined (untimed setup)."""
+    scenario = build_scenario(config)
+    system = build_telecast_system(scenario)
+    system.run_workload(scenario.viewers, scenario.events, scenario.views)
+    trace = TeeveSessionTrace(scenario.producers, rng=SeededRandom(config.seed))
+    return system, trace
+
+
+def _offline_leg(config: ExperimentConfig, max_frames: Optional[int]) -> Dict[str, float]:
+    system, trace = _built_system(config)
+    started = time.perf_counter()
+    report = OverlayDataPlane(system, trace).replay(max_frames_per_stream=max_frames)
+    elapsed = time.perf_counter() - started
+    deliveries = report.deliveries
+    return {
+        "engine": "offline",
+        "wall_clock_s": round(elapsed, 4),
+        "deliveries": len(deliveries),
+        "delay_mass_s": round(sum(d.end_to_end_delay for d in deliveries), 3),
+    }
+
+
+def _simulated_leg(
+    config: ExperimentConfig,
+    max_frames: Optional[int],
+    *,
+    loss_rate: float = 0.0,
+    bandwidth_headroom: Optional[float] = None,
+    refresh_interval: Optional[float] = None,
+) -> Dict[str, float]:
+    system, trace = _built_system(config)
+    plane = SimulatedDataPlane(
+        system,
+        trace,
+        DataPlaneConfig(
+            loss_rate=loss_rate,
+            bandwidth_headroom=bandwidth_headroom,
+            transit_delay_scale=0.0,
+            refresh_interval=refresh_interval,
+            max_frames_per_stream=max_frames,
+        ),
+    )
+    started = time.perf_counter()
+    report = plane.run()
+    elapsed = time.perf_counter() - started
+    deliveries = report.deliveries
+    skews = report.playout_skews()
+    continuities = report.continuities()
+    return {
+        "engine": "simulated",
+        "loss_rate": loss_rate,
+        "bandwidth_headroom": bandwidth_headroom,
+        "wall_clock_s": round(elapsed, 4),
+        "deliveries": len(deliveries),
+        "delay_mass_s": round(sum(d.end_to_end_delay for d in deliveries), 3),
+        "frames_sent": report.frames_sent,
+        "frames_lost": report.frames_lost,
+        "frames_late": report.frames_late,
+        "frames_dropped": report.frames_dropped,
+        "continuity_mean": round(sum(continuities) / len(continuities), 4)
+        if continuities
+        else 1.0,
+        "skew_within_dbuff": round(report.skew_within_dbuff_fraction(), 4),
+        "playout_skew_max_ms": round(max(skews) * 1000, 1) if skews else 0.0,
+        "layer_adjustments": report.layer_adjustments,
+        "streams_dropped": report.streams_dropped,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--viewers",
+        type=int,
+        default=DEFAULT_VIEWERS,
+        help="population of the benchmark scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=DEFAULT_MAX_SLOWDOWN,
+        help="allowed simulated/offline wall-clock factor (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skew-fraction",
+        type=float,
+        default=DEFAULT_SKEW_FRACTION,
+        help="required fraction of viewers with skew <= d_buff (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="truncate the gated legs to 200 frames per stream (local iteration)",
+    )
+    parser.add_argument(
+        "--record",
+        default="BENCH_dataplane.json",
+        help="where to write the JSON record (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.viewers <= 0:
+        parser.error("--viewers must be > 0")
+    if args.max_slowdown <= 0:
+        parser.error("--max-slowdown must be > 0")
+    if not (0.0 < args.skew_fraction <= 1.0):
+        parser.error("--skew-fraction must be in (0, 1]")
+
+    config = _config(args.viewers)
+    max_frames = LOSS_SWEEP_FRAMES if args.quick else None
+    offline = _offline_leg(config, max_frames)
+    simulated = _simulated_leg(config, max_frames)
+    slowdown = (
+        simulated["wall_clock_s"] / offline["wall_clock_s"]
+        if offline["wall_clock_s"] > 0
+        else float("inf")
+    )
+    loss_sweep = [
+        _simulated_leg(
+            config,
+            LOSS_SWEEP_FRAMES,
+            loss_rate=loss_rate,
+            bandwidth_headroom=1.0,
+            refresh_interval=5.0,
+        )
+        for loss_rate in LOSS_SWEEP
+    ]
+
+    d_buff = config.buffer_duration
+    record = {
+        "benchmark": "dataplane",
+        "num_viewers": args.viewers,
+        "full_trace": not args.quick,
+        "d_buff_s": d_buff,
+        "offline": offline,
+        "simulated": simulated,
+        "slowdown": round(slowdown, 3),
+        "max_slowdown": args.max_slowdown,
+        "skew_fraction_gate": args.skew_fraction,
+        "loss_sweep": loss_sweep,
+    }
+    Path(args.record).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    print(f"population                  : {args.viewers} viewers, 3 LSCs")
+    print(
+        f"offline replay              : {offline['wall_clock_s'] * 1000:9.1f} ms "
+        f"({offline['deliveries']} deliveries)"
+    )
+    print(
+        f"simulated replay            : {simulated['wall_clock_s'] * 1000:9.1f} ms "
+        f"({simulated['deliveries']} deliveries)"
+    )
+    print(
+        f"slowdown (simulated/offline): {slowdown:9.2f}x (gate: <= {args.max_slowdown}x)"
+    )
+    print(
+        f"skew within d_buff          : {simulated['skew_within_dbuff']:9.2%} "
+        f"(gate: >= {args.skew_fraction:.0%} at zero loss)"
+    )
+    print("loss sweep (headroom=1.0, refresh on, 200 frames/stream):")
+    print("  loss   continuity  skew<=d_buff  max playout skew")
+    for leg in loss_sweep:
+        print(
+            f"  {leg['loss_rate']:<5.0%}  {leg['continuity_mean']:<10.4f}  "
+            f"{leg['skew_within_dbuff']:<12.2%}  {leg['playout_skew_max_ms']:.0f} ms"
+        )
+    print(f"record written to           : {args.record}")
+
+    failures = []
+    if slowdown > args.max_slowdown:
+        failures.append(
+            f"simulated replay is {slowdown:.2f}x slower than offline "
+            f"(gate: {args.max_slowdown}x)"
+        )
+    if simulated["deliveries"] != offline["deliveries"]:
+        failures.append(
+            f"delivery count parity broken: offline {offline['deliveries']} "
+            f"!= simulated {simulated['deliveries']}"
+        )
+    mass_drift = abs(simulated["delay_mass_s"] - offline["delay_mass_s"])
+    if mass_drift > 1e-3 * max(1.0, offline["delay_mass_s"]):
+        failures.append(
+            f"delivery delay mass drifted {mass_drift:.3f}s between engines"
+        )
+    if simulated["skew_within_dbuff"] < args.skew_fraction:
+        failures.append(
+            f"only {simulated['skew_within_dbuff']:.2%} of viewers within d_buff "
+            f"(gate: {args.skew_fraction:.0%})"
+        )
+    for failure in failures:
+        print(f"FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

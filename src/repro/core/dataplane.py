@@ -4,24 +4,43 @@ The scaling experiments of the paper reason at the bandwidth/topology
 level, but the view-synchronization claim (Layer Property 2) is ultimately
 about frames: dependent frames of a view must be present in the gateway
 buffers simultaneously so the renderer can display a consistent scene.
-This module replays a (synthetic) TEEVE trace through the overlay built by
-:class:`~repro.core.telecast.TeleCastSystem` for a small viewer population
-and measures per-viewer inter-stream skew, which examples and integration
-tests compare against ``d_buff``.
+
+Two replay engines share the :class:`DeliveryRecord` vocabulary:
+
+* :class:`OverlayDataPlane` -- the original *offline* replay: every frame
+  is delivered instantaneously at ``capture_time + effective_delay``,
+  with no bandwidth or loss model.  It remains the golden-pinned
+  reference semantics.
+* :class:`SimulatedDataPlane` -- the event-driven replay: frames travel
+  as typed :class:`~repro.sim.transport.DataMessage` batches on the
+  :class:`~repro.sim.engine.Simulator`, serialized through each parent's
+  reserved forwarding bin (:class:`~repro.sim.transport.DataLink`), with
+  configurable loss, per-viewer playout accounting
+  (startup delay / continuity / inter-stream skew, :class:`QoEReport`),
+  and a feedback loop that triggers the ``kappa`` delay-layer refresh of
+  :class:`~repro.core.adaptation.AdaptationManager` from *observed*
+  frame delays.  At zero extra transit, zero loss and unconstrained
+  bandwidth it produces byte-identical ``DeliveryRecord``s to the
+  offline replay (pinned by ``tests/test_dataplane_sim.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.telecast import TeleCastSystem
 from repro.model.cdn import CDN_NODE_ID
 from repro.model.stream import Frame, StreamId
+from repro.sim.rng import SeededRandom
+from repro.sim.transport import DataChannel, DataMessage
 from repro.traces.teeve import TeeveSessionTrace
+from repro.util.validation import require_non_negative, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telecast imports us)
+    from repro.core.telecast import TeleCastSystem
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """One frame delivered to one viewer."""
 
@@ -84,6 +103,43 @@ class PlaybackReport:
         for frame_number in common_frames:
             delays = [frames[frame_number] for frames in per_stream.values()]
             worst = max(worst, max(delays) - min(delays))
+        return worst
+
+    def playout_skew_for(
+        self, viewer_id: str, playout_point: float
+    ) -> Optional[float]:
+        """Residual inter-stream skew at the viewer's playout point.
+
+        The gateway buffer absorbs arrival skew by holding early frames
+        until the playout point ``P_v`` (the viewer's slowest structural
+        stream delay): a frame's *renderer-visible* delay is
+        ``max(end_to_end_delay, P_v)``.  The residual spread of those
+        aligned delays is what the renderer actually observes -- zero
+        when every dependent frame is co-resident in the gateway buffers
+        by playout time, positive exactly when queueing (or extra
+        transit) pushed a frame past ``P_v``.  Layer Property 2 bounds
+        this quantity by ``d_buff``; ``None`` when the viewer received
+        fewer than two streams.
+        """
+        per_stream: Dict[StreamId, Dict[int, float]] = {}
+        for record in self.deliveries_for(viewer_id):
+            per_stream.setdefault(record.stream_id, {})[record.frame_number] = (
+                record.end_to_end_delay
+            )
+        if len(per_stream) < 2:
+            return None
+        worst = 0.0
+        common_frames = set.intersection(
+            *(set(frames) for frames in per_stream.values())
+        )
+        for frame_number in common_frames:
+            aligned = [
+                delay if delay > playout_point else playout_point
+                for delay in (
+                    frames[frame_number] for frames in per_stream.values()
+                )
+            ]
+            worst = max(worst, max(aligned) - min(aligned))
         return worst
 
     def mean_delay_for(self, viewer_id: str, stream_id: StreamId) -> Optional[float]:
@@ -175,3 +231,520 @@ class OverlayDataPlane:
             if frame.frame_number <= floor:
                 continue
             buffer.insert(frame, frame.capture_time + delay)
+
+
+@dataclass(frozen=True)
+class DataPlaneConfig:
+    """Parameters of the event-driven (simulated) data plane.
+
+    Attributes
+    ----------
+    loss_rate:
+        Per-frame, per-edge loss probability in ``[0, 1)``.
+    bandwidth_headroom:
+        Multiplier on each edge's reserved forwarding rate (one
+        stream-bandwidth bin per child, the unit of
+        :func:`repro.core.bandwidth.allocate_outbound`).  ``1.0`` gives
+        each edge exactly the stream's nominal bandwidth, so size jitter
+        queues frames; larger values drain queues faster; ``None``
+        removes the bandwidth model entirely (zero serialization delay).
+    transit_delay_scale:
+        Extra per-edge network transit, as a multiple of the last-hop
+        propagation delay between the current parent and the viewer.
+        The structural (analytic) delay already folds the nominal path
+        in, so this models additional data-path jitter; ``0.0`` keeps
+        delivery at the analytic schedule.
+    refresh_interval:
+        Period (replay seconds) of the observed-delay ``kappa`` layer
+        refresh (:meth:`repro.core.adaptation.AdaptationManager.\
+refresh_layers_from_observed`); ``None`` disables the feedback loop.
+    batch_quantum:
+        Replay seconds of frames one engine event transmits per edge.
+        With the feedback loop disabled this is purely an engine-
+        granularity knob -- delivery timestamps are independent of it
+        (pinned by ``tests/test_dataplane_sim.py``).  With
+        ``refresh_interval`` set it also bounds how stale an edge's
+        layer state can be when its frames transmit: frames due inside
+        one quantum all use the layer decisions in force at the chunk's
+        start, so a coarser quantum reacts to refreshes more coarsely.
+    max_frames_per_stream:
+        Truncate every stream's trace to its first N frames
+        (``None`` replays the full trace).
+    seed:
+        Seed of the loss RNG (forked per edge, deterministically).
+    """
+
+    loss_rate: float = 0.0
+    bandwidth_headroom: Optional[float] = 1.0
+    transit_delay_scale: float = 0.0
+    refresh_interval: Optional[float] = 5.0
+    batch_quantum: float = 1.0
+    max_frames_per_stream: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.bandwidth_headroom is not None:
+            require_positive(self.bandwidth_headroom, "bandwidth_headroom")
+        require_non_negative(self.transit_delay_scale, "transit_delay_scale")
+        if self.refresh_interval is not None:
+            require_positive(self.refresh_interval, "refresh_interval")
+        require_positive(self.batch_quantum, "batch_quantum")
+        if self.max_frames_per_stream is not None and self.max_frames_per_stream < 0:
+            raise ValueError("max_frames_per_stream must be >= 0 or None")
+
+
+@dataclass(frozen=True, slots=True)
+class ViewerQoE:
+    """Playout quality observed by one viewer over a simulated replay.
+
+    ``startup_delay`` is the time until every subscribed stream has
+    delivered its first frame (the paper's user-perceived session start);
+    ``continuity`` the fraction of expected frames that arrived before
+    the viewer's playout deadline (structural playout point plus
+    ``d_buff``).  Two skews are reported: ``skew`` is the raw
+    gateway-arrival spread (:meth:`PlaybackReport.skew_for`, structurally
+    bounded by ``d_buff + tau`` since viewers sit anywhere inside their
+    delay layer), while ``playout_skew`` is the residual spread after the
+    gateway aligns early frames at the playout point
+    (:meth:`PlaybackReport.playout_skew_for`) -- the renderer-visible
+    quantity Layer Property 2 bounds by ``d_buff``.
+    """
+
+    viewer_id: str
+    startup_delay: Optional[float]
+    continuity: float
+    skew: Optional[float]
+    playout_skew: Optional[float]
+    frames_expected: int
+    frames_delivered: int
+    frames_lost: int
+    frames_late: int
+    #: Frames never sent because the layer refresh dropped the stream
+    #: mid-replay; they count against ``continuity`` (losing a whole
+    #: stream is a playout failure, not an excuse).
+    frames_dropped: int = 0
+
+
+@dataclass
+class QoEReport:
+    """Result of one simulated replay: deliveries plus per-viewer QoE."""
+
+    playback: PlaybackReport
+    d_buff: float
+    per_viewer: Dict[str, ViewerQoE] = field(default_factory=dict)
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost: int = 0
+    frames_late: int = 0
+    frames_dropped: int = 0
+    #: Streams adjusted / dropped by the observed-delay layer refresh.
+    layer_adjustments: int = 0
+    streams_dropped: int = 0
+
+    @property
+    def deliveries(self) -> List[DeliveryRecord]:
+        """The frame deliveries, sorted by (delivery_time, viewer_id)."""
+        return self.playback.deliveries
+
+    def startup_delays(self) -> List[float]:
+        """Per-viewer startup delays (viewers that received frames)."""
+        return [
+            qoe.startup_delay
+            for qoe in self.per_viewer.values()
+            if qoe.startup_delay is not None
+        ]
+
+    def continuities(self) -> List[float]:
+        """Per-viewer playout continuity values."""
+        return [qoe.continuity for qoe in self.per_viewer.values()]
+
+    def skews(self) -> List[float]:
+        """Per-viewer raw gateway-arrival skews (viewers with >= 2 streams)."""
+        return [qoe.skew for qoe in self.per_viewer.values() if qoe.skew is not None]
+
+    def playout_skews(self) -> List[float]:
+        """Per-viewer renderer-visible skews at the playout point."""
+        return [
+            qoe.playout_skew
+            for qoe in self.per_viewer.values()
+            if qoe.playout_skew is not None
+        ]
+
+    def skew_within_dbuff_fraction(self) -> float:
+        """Fraction of multi-stream viewers whose renderer-visible skew
+        stays within ``d_buff`` (the Layer Property 2 claim)."""
+        skews = self.playout_skews()
+        if not skews:
+            return 1.0
+        within = sum(1 for skew in skews if skew <= self.d_buff + 1e-9)
+        return within / len(skews)
+
+
+class _EdgeState:
+    """Mutable per-subscription replay state of the simulated data plane."""
+
+    __slots__ = (
+        "viewer_id",
+        "stream_id",
+        "session",
+        "viewer",
+        "frames",
+        "index",
+        "deadline",
+        "first_delivery",
+        "last_received",
+        "expected",
+        "delivered",
+        "lost",
+        "late",
+        "dropped",
+        "window_sum",
+        "window_count",
+        "callback",
+    )
+
+    def __init__(self, viewer_id, stream_id, session, viewer, frames, deadline):
+        self.viewer_id = viewer_id
+        self.stream_id = stream_id
+        self.session = session
+        self.viewer = viewer
+        self.frames = frames
+        self.index = 0
+        self.deadline = deadline
+        self.first_delivery: Optional[float] = None
+        self.last_received = float("-inf")
+        self.expected = 0
+        self.delivered = 0
+        self.lost = 0
+        self.late = 0
+        self.dropped = 0
+        self.window_sum = 0.0
+        self.window_count = 0
+        self.callback = None
+
+
+class SimulatedDataPlane:
+    """Event-driven frame replay over the overlay of a TeleCast session.
+
+    Frames of every subscribed stream travel as typed
+    :class:`~repro.sim.transport.DataMessage` batches on the session's
+    :class:`~repro.sim.engine.Simulator`: each subscription edge schedules
+    one engine event per ``batch_quantum`` of trace time, and every event
+    serializes the frames due in its quantum through the parent's
+    reserved forwarding bin (FIFO queueing), applies loss, stamps the
+    delivery, inserts the frame into the viewer's gateway buffer and
+    updates the playout accounting.  Edge state (parent, effective delay,
+    still-subscribed) is re-read at every event, so the observed-delay
+    layer refresh running on the same engine feeds back into subsequent
+    deliveries.
+
+    The replay starts at the simulator's current time (frames are
+    rebased onto the live clock); all recorded times are relative to the
+    replay epoch so they compare directly with the offline
+    :class:`OverlayDataPlane` records.
+    """
+
+    def __init__(
+        self,
+        system: "TeleCastSystem",
+        trace: TeeveSessionTrace,
+        config: Optional[DataPlaneConfig] = None,
+    ) -> None:
+        self.system = system
+        self.trace = trace
+        self.config = config or DataPlaneConfig()
+        self._t0 = 0.0
+        self._channel: Optional[DataChannel] = None
+        self._edges: List[_EdgeState] = []
+        self._report: Optional[QoEReport] = None
+
+    # -- replay ------------------------------------------------------------------
+
+    def run(self) -> QoEReport:
+        """Replay the trace through the current overlay; return the QoE report."""
+        sim = self.system.simulator
+        cfg = self.config
+        self._t0 = sim.now
+        self._channel = DataChannel(
+            sim, loss_rate=cfg.loss_rate, rng=SeededRandom(cfg.seed)
+        )
+        playback = PlaybackReport()
+        self._report = QoEReport(
+            playback=playback, d_buff=self.system.layer_config.buffer_duration
+        )
+        self._edges = []
+        horizon = 0.0
+        frames_by_stream: Dict[StreamId, List[Frame]] = {}
+        deadlines: Dict[str, float] = {}
+        for lsc in self.system.gsc.lscs:
+            for viewer_id, session in lsc.sessions.items():
+                playout = max(
+                    (
+                        sub.effective_delay or sub.end_to_end_delay
+                        for sub in session.subscriptions.values()
+                    ),
+                    default=0.0,
+                )
+                deadlines[viewer_id] = playout + session.viewer.buffer_duration
+                for stream_id in session.subscriptions:
+                    frames = frames_by_stream.get(stream_id)
+                    if frames is None:
+                        frames = self.trace.frames_for_stream(stream_id)
+                        if cfg.max_frames_per_stream is not None:
+                            frames = frames[: cfg.max_frames_per_stream]
+                        frames_by_stream[stream_id] = frames
+                    if not frames:
+                        continue
+                    horizon = max(horizon, frames[-1].capture_time)
+                    self._edges.append(
+                        _EdgeState(
+                            viewer_id,
+                            stream_id,
+                            session,
+                            session.viewer,
+                            frames,
+                            deadlines[viewer_id],
+                        )
+                    )
+        for edge in self._edges:
+            edge.callback = self._make_chunk_callback(edge)
+            sim.schedule_at(
+                self._t0 + edge.frames[0].capture_time, edge.callback, label="data:chunk"
+            )
+        if cfg.refresh_interval is not None and self._edges:
+            self._schedule_refresh(self._t0 + cfg.refresh_interval, horizon)
+        sim.run()
+        return self._finalize()
+
+    def _make_chunk_callback(self, edge: _EdgeState):
+        """One reusable engine callback per edge (the hottest allocation)."""
+
+        def chunk() -> None:
+            self._transmit_chunk(edge)
+
+        return chunk
+
+    def _transmit_chunk(self, edge: _EdgeState) -> None:
+        sim = self.system.simulator
+        cfg = self.config
+        channel = self._channel
+        sub = edge.session.subscriptions.get(edge.stream_id)
+        if sub is None:
+            # Dropped by the layer refresh: the edge terminates, and the
+            # undeliverable tail still counts against the viewer's
+            # continuity -- losing a whole stream IS a playout failure.
+            remaining = len(edge.frames) - edge.index
+            edge.expected += remaining
+            edge.dropped += remaining
+            edge.index = len(edge.frames)
+            return
+        if cfg.refresh_interval is not None:
+            # The playout point tracks the refreshed layers: a push-down
+            # re-buffers the viewer, moving its deadline along (static
+            # without the feedback loop, so the fast path skips this).
+            playout = max(
+                (
+                    s.effective_delay or s.end_to_end_delay
+                    for s in edge.session.subscriptions.values()
+                ),
+                default=0.0,
+            )
+            edge.deadline = playout + edge.viewer.buffer_duration
+        frames = edge.frames
+        total = len(frames)
+        index = edge.index
+        end_rel = (sim.now - self._t0) + cfg.batch_quantum
+        delay = sub.effective_delay or sub.end_to_end_delay
+        parent_id = sub.parent_id
+        if cfg.transit_delay_scale > 0.0:
+            delay += cfg.transit_delay_scale * self.system.delay_model.propagation(
+                parent_id, edge.viewer_id
+            )
+        rate = (
+            None
+            if cfg.bandwidth_headroom is None
+            else cfg.bandwidth_headroom * sub.stream.bandwidth_mbps
+        )
+        link = channel.link(parent_id, edge.viewer_id, edge.stream_id, rate)
+        deliveries = self._report.playback.deliveries
+        stream_id = edge.stream_id
+
+        stop = index
+        while stop < total and frames[stop].capture_time < end_rel:
+            stop += 1
+
+        if rate is None and cfg.loss_rate == 0.0:
+            # Fast path: no serialization, no loss -- the whole batch is a
+            # constant-delay fan-out, exactly the offline replay's inner
+            # loop (and the same per-frame cost).
+            batch = frames[index:stop]
+            if batch:
+                count = len(batch)
+                channel.sent += count
+                channel.delivered += count
+                deliveries.extend(
+                    DeliveryRecord(
+                        viewer_id=edge.viewer_id,
+                        stream_id=stream_id,
+                        frame_number=frame.frame_number,
+                        capture_time=frame.capture_time,
+                        delivery_time=frame.capture_time + delay,
+                    )
+                    for frame in batch
+                )
+                self._buffer_batch(edge, batch, delay)
+                edge.expected += count
+                edge.delivered += count
+                if delay > edge.deadline + 1e-9:
+                    edge.late += count
+                if edge.first_delivery is None:
+                    edge.first_delivery = batch[0].capture_time + delay
+                edge.window_sum += count * delay
+                edge.window_count += count
+        else:
+            t0 = self._t0
+            buffer = edge.viewer.buffer_for(stream_id)
+            latest = buffer.latest_frame()
+            floor = latest.frame_number if latest is not None else -1
+            for position in range(index, stop):
+                frame = frames[position]
+                edge.expected += 1
+                message = DataMessage(
+                    src=parent_id,
+                    dst=edge.viewer_id,
+                    sent_at=t0 + frame.capture_time,
+                    stream_id=stream_id,
+                    frame_number=frame.frame_number,
+                    capture_time=frame.capture_time,
+                    size_megabits=frame.size_megabits,
+                )
+                delivered_abs = channel.transmit(message, link, path_delay=delay)
+                if delivered_abs is None:
+                    edge.lost += 1
+                    continue
+                delivery_rel = delivered_abs - t0
+                edge.delivered += 1
+                observed = delivery_rel - frame.capture_time
+                if observed > edge.deadline + 1e-9:
+                    edge.late += 1
+                deliveries.append(
+                    DeliveryRecord(
+                        viewer_id=edge.viewer_id,
+                        stream_id=stream_id,
+                        frame_number=frame.frame_number,
+                        capture_time=frame.capture_time,
+                        delivery_time=delivery_rel,
+                    )
+                )
+                if frame.frame_number > floor and delivery_rel >= edge.last_received:
+                    buffer.insert(frame, delivery_rel)
+                    floor = frame.frame_number
+                    edge.last_received = delivery_rel
+                if edge.first_delivery is None:
+                    edge.first_delivery = delivery_rel
+                edge.window_sum += observed
+                edge.window_count += 1
+
+        edge.index = stop
+        if stop < total:
+            sim.schedule_at(
+                self._t0 + frames[stop].capture_time, edge.callback, label="data:chunk"
+            )
+
+    def _buffer_batch(self, edge: _EdgeState, batch: Sequence[Frame], delay: float) -> None:
+        """Insert a constant-delay batch into the viewer's gateway buffer.
+
+        Frames whose arrival would precede an already-buffered one (a
+        re-provision shortened the path mid-replay) are skipped
+        individually, mirroring the per-frame guard of the serialized
+        path, so buffer contents track the delivery records frame for
+        frame.
+        """
+        buffer = edge.viewer.buffer_for(edge.stream_id)
+        latest = buffer.latest_frame()
+        floor = latest.frame_number if latest is not None else -1
+        for frame in batch:
+            received = frame.capture_time + delay
+            if frame.frame_number <= floor or received < edge.last_received:
+                continue
+            buffer.insert(frame, received)
+            floor = frame.frame_number
+            edge.last_received = received
+
+    # -- observed-delay layer refresh --------------------------------------------
+
+    def _schedule_refresh(self, at: float, horizon: float) -> None:
+        sim = self.system.simulator
+
+        def refresh() -> None:
+            self._run_refresh()
+            next_at = at_holder[0] + self.config.refresh_interval
+            if next_at - self._t0 <= horizon:
+                at_holder[0] = next_at
+                sim.schedule_at(next_at, refresh, label="data:refresh")
+
+        at_holder = [at]
+        sim.schedule_at(at, refresh, label="data:refresh")
+
+    def _run_refresh(self) -> None:
+        """Feed the last window's observed delays into the layer adaptation."""
+        observed: Dict[Tuple[str, StreamId], float] = {}
+        for edge in self._edges:
+            if edge.window_count:
+                observed[(edge.viewer_id, edge.stream_id)] = (
+                    edge.window_sum / edge.window_count
+                )
+                edge.window_sum = 0.0
+                edge.window_count = 0
+        if not observed:
+            return
+        adjusted, dropped = self.system.refresh_layers_from_observed(
+            observed, self.system.simulator.now
+        )
+        self._report.layer_adjustments += adjusted
+        self._report.streams_dropped += dropped
+
+    # -- reporting ----------------------------------------------------------------
+
+    def _finalize(self) -> QoEReport:
+        report = self._report
+        report.playback.deliveries.sort(key=lambda d: (d.delivery_time, d.viewer_id))
+        report.frames_sent = self._channel.sent
+        report.frames_delivered = self._channel.delivered
+        report.frames_lost = self._channel.lost
+        per_viewer_edges: Dict[str, List[_EdgeState]] = {}
+        for edge in self._edges:
+            per_viewer_edges.setdefault(edge.viewer_id, []).append(edge)
+        for viewer_id, edges in per_viewer_edges.items():
+            expected = sum(edge.expected for edge in edges)
+            delivered = sum(edge.delivered for edge in edges)
+            lost = sum(edge.lost for edge in edges)
+            late = sum(edge.late for edge in edges)
+            dropped = sum(edge.dropped for edge in edges)
+            report.frames_late += late
+            report.frames_dropped += dropped
+            firsts = [
+                edge.first_delivery for edge in edges if edge.first_delivery is not None
+            ]
+            startup = max(firsts) if firsts else None
+            continuity = (delivered - late) / expected if expected else 1.0
+            playout_point = max(edge.deadline for edge in edges) - edges[
+                0
+            ].viewer.buffer_duration
+            report.per_viewer[viewer_id] = ViewerQoE(
+                viewer_id=viewer_id,
+                startup_delay=startup,
+                continuity=continuity,
+                skew=report.playback.skew_for(viewer_id),
+                playout_skew=report.playback.playout_skew_for(
+                    viewer_id, playout_point
+                ),
+                frames_expected=expected,
+                frames_delivered=delivered,
+                frames_lost=lost,
+                frames_late=late,
+                frames_dropped=dropped,
+            )
+        return report

@@ -98,7 +98,26 @@ class _DriverBase:
         self.by_id = {viewer.viewer_id: viewer for viewer in viewers}
         self.snapshot_every = snapshot_every
         self.joins_seen = 0
+        self.data_plane = None
         self._clock = _time.perf_counter if profile else None
+
+    def attach_data_plane(self, plane) -> None:
+        """Attach a :class:`~repro.core.dataplane.SimulatedDataPlane`.
+
+        Both drivers then run a frame *replay phase* on the event loop
+        after the control-plane schedule drains (and before the final
+        snapshot): the overlay built by the workload is exercised with
+        simulated frame traffic and the QoE report lands in the metrics.
+        """
+        self.data_plane = plane
+
+    def _replay_data_plane(self) -> None:
+        if self.data_plane is None:
+            return
+        started = self._started()
+        report = self.data_plane.run()
+        self._timed("replay", started)
+        self.system.metrics.record_qoe(report)
 
     def _started(self) -> float:
         return self._clock() if self._clock else 0.0
@@ -130,6 +149,7 @@ class InstantDriver(_DriverBase):
         for event in sorted(events, key=event_sort_key):
             system.simulator.run(until=event.time)
             dispatch_event(self, event)
+        self._replay_data_plane()
         self._snapshot()
         return system.metrics
 
@@ -243,6 +263,9 @@ class EventDrivenSession(_DriverBase):
         metrics.record_control_traffic(
             sent=self.channel.sent, delivered=self.channel.delivered
         )
+        # The data-plane replay phase runs after the control schedule has
+        # drained: the overlay is final, the heartbeat plane is closed.
+        self._replay_data_plane()
         self._snapshot()
         return metrics
 

@@ -19,9 +19,10 @@ generated :class:`~repro.traces.workload.ViewerWorkload` schedule.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.adaptation import AdaptationManager, DepartureResult, ViewChangeResult
+from repro.core.dataplane import DataPlaneConfig, SimulatedDataPlane
 from repro.core.controllers import (
     GSC_NODE_ID,
     GlobalSessionController,
@@ -44,8 +45,11 @@ from repro.model.cdn import CDN
 from repro.model.producer import ProducerSite
 from repro.model.view import GlobalView, orientation_from_angle
 from repro.model.viewer import Viewer
+from repro.model.stream import StreamId
 from repro.net.latency import DelayModel
 from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRandom
+from repro.traces.teeve import TeeveSessionTrace
 from repro.traces.workload import ViewerEvent
 
 
@@ -307,6 +311,42 @@ class TeleCastSystem:
         for manager in self._adaptation.values():
             manager.refresh_layers(time)
 
+    def refresh_layers_from_observed(
+        self,
+        observed_delays: Mapping[Tuple[str, StreamId], float],
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Run the observed-delay ``kappa`` layer refresh on every LSC.
+
+        ``observed_delays`` maps ``(viewer_id, stream_id)`` to the mean
+        capture-to-gateway delay the data plane measured; each sample is
+        routed to the LSC currently holding the viewer (samples whose
+        viewer departed or re-homed in flight are ignored there).
+        Returns the total ``(adjusted_streams, dropped_streams)`` and
+        records both in the session metrics.
+        """
+        time = self.simulator.now if now is None else now
+        total_adjusted = 0
+        total_dropped = 0
+        by_lsc: Dict[str, Dict[Tuple[str, StreamId], float]] = {}
+        for (viewer_id, stream_id), delay in observed_delays.items():
+            lsc = self.gsc.lsc_of_connected_viewer(viewer_id)
+            if lsc is None:
+                continue
+            by_lsc.setdefault(lsc.lsc_id, {})[(viewer_id, stream_id)] = delay
+        for lsc_id, samples in by_lsc.items():
+            manager = self._adaptation.get(lsc_id)
+            if manager is None:
+                continue
+            adjusted, dropped = manager.refresh_layers_from_observed(samples, time)
+            total_adjusted += adjusted
+            total_dropped += sum(len(streams) for streams in dropped.values())
+        if total_adjusted or total_dropped:
+            self.metrics.record_observed_refresh(
+                adjusted=total_adjusted, dropped=total_dropped
+            )
+        return total_adjusted, total_dropped
+
     # -- measurement ------------------------------------------------------------------
 
     def snapshot(self) -> SystemSnapshot:
@@ -357,6 +397,8 @@ class TeleCastSystem:
         control_plane: str = "instant",
         heartbeat_period: Optional[float] = None,
         control_delay_scale: float = 1.0,
+        data_plane: Optional[DataPlaneConfig] = None,
+        trace: Optional[TeeveSessionTrace] = None,
     ) -> SessionMetrics:
         """Replay a workload schedule through the system.
 
@@ -381,6 +423,15 @@ class TeleCastSystem:
         (join / view_change / churn / metrics) into
         :attr:`SessionMetrics.phase_timings`; the replayed events and all
         recorded metrics are unaffected.
+
+        With a ``data_plane`` configuration, both drivers append a frame
+        *replay phase* on the event loop after the control-plane schedule
+        drains: the TEEVE ``trace`` (a default synthetic one when not
+        given) is replayed through the final overlay by
+        :class:`~repro.core.dataplane.SimulatedDataPlane`, and the
+        resulting QoE report (startup delay, continuity, inter-stream
+        skew, loss/late counters, observed-delay layer refreshes) is
+        recorded into the session metrics.
         """
         if control_plane == "instant":
             driver = InstantDriver(
@@ -405,6 +456,12 @@ class TeleCastSystem:
                 f"unknown control plane {control_plane!r}; "
                 "expected 'instant' or 'simulated'"
             )
+        if data_plane is not None:
+            if trace is None:
+                trace = TeeveSessionTrace(
+                    self.producers, rng=SeededRandom(data_plane.seed)
+                )
+            driver.attach_data_plane(SimulatedDataPlane(self, trace, data_plane))
         return driver.run(events)
 
     # -- convenience -----------------------------------------------------------------------

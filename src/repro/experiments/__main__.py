@@ -164,7 +164,29 @@ def build_run_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="after the control-plane run, replay N frames per stream "
-        "through the data plane (TeleCast only)",
+        "through the data plane (TeleCast only; with --data-plane this "
+        "truncates the simulated replay instead of running the offline one)",
+    )
+    parser.add_argument(
+        "--data-plane",
+        action="store_true",
+        help="replay the TEEVE trace through the overlay as event-driven "
+        "data messages (bandwidth serialization, loss, QoE metrics) "
+        "instead of the offline constant-delay replay",
+    )
+    parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=PAPER_CONFIG.data_loss_rate,
+        help="per-frame, per-edge loss probability of the simulated data "
+        "plane (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--bandwidth-headroom",
+        type=float,
+        default=PAPER_CONFIG.data_bandwidth_headroom,
+        help="multiplier on each edge's reserved forwarding rate; 'inf' "
+        "removes the bandwidth model (default: %(default)s)",
     )
     parser.add_argument(
         "--control-plane",
@@ -227,12 +249,27 @@ def _run_main(argv: List[str]) -> int:
         parser.error("--replay-frames must be >= 0")
     if args.heartbeat_period <= 0:
         parser.error("--heartbeat-period must be > 0")
+    if not (0.0 <= args.loss_rate < 1.0):
+        parser.error("--loss-rate must be in [0, 1)")
+    if args.bandwidth_headroom is not None and args.bandwidth_headroom <= 0:
+        parser.error("--bandwidth-headroom must be > 0 (use 'inf' to disable)")
+    import math as _math
+
+    headroom = (
+        None
+        if args.bandwidth_headroom is not None and _math.isinf(args.bandwidth_headroom)
+        else args.bandwidth_headroom
+    )
     config = PAPER_CONFIG.with_scaled_population(
         args.viewers,
         num_lscs=args.lscs,
         num_views=args.views,
         control_plane=args.control_plane,
         heartbeat_period=args.heartbeat_period,
+        data_plane="simulated" if args.data_plane else "off",
+        data_loss_rate=args.loss_rate,
+        data_bandwidth_headroom=headroom,
+        replay_frames_per_stream=args.replay_frames if args.data_plane else None,
     )
     import time as _time
 
@@ -241,6 +278,8 @@ def _run_main(argv: List[str]) -> int:
             parser.error("--replay-frames requires --system telecast")
         if args.control_plane != "instant":
             parser.error("--control-plane simulated requires --system telecast")
+        if args.data_plane:
+            parser.error("--data-plane requires --system telecast")
         started = _time.perf_counter()
         result = run_random_scenario(config, snapshot_every=args.snapshot_every)
         elapsed = _time.perf_counter() - started
@@ -263,10 +302,11 @@ def _run_main(argv: List[str]) -> int:
         control_plane=config.control_plane,
         heartbeat_period=config.heartbeat_period,
         control_delay_scale=config.control_delay_scale,
+        data_plane=config.data_plane_config(),
     )
     if args.profile:
         metrics.add_phase_time("build", build_seconds)
-    if args.replay_frames is not None:
+    if args.replay_frames is not None and not args.data_plane:
         replay_started = _time.perf_counter()
         trace = TeeveSessionTrace(
             scenario.producers, rng=SeededRandom(config.seed)
@@ -289,6 +329,18 @@ def _run_main(argv: List[str]) -> int:
         f"cdn_fraction={snapshot.cdn_fraction:.4f}, "
         f"cdn={snapshot.cdn_outbound_mbps:.1f}Mbps"
     )
+    if "qoe_continuity_mean" in summary:
+        print(
+            f"data plane: {int(summary['data_frames_delivered'])}/"
+            f"{int(summary['data_frames_sent'])} frames delivered "
+            f"({int(summary['data_frames_lost'])} lost, "
+            f"{int(summary['data_frames_late'])} late), "
+            f"continuity={summary['qoe_continuity_mean']:.4f}, "
+            f"startup p95={summary.get('qoe_startup_delay_p95', float('nan')):.2f}s, "
+            f"playout skew p99="
+            f"{summary.get('qoe_playout_skew_p99', 0.0) * 1000:.0f}ms "
+            f"(within d_buff: {summary.get('qoe_skew_within_dbuff', 1.0):.2%})"
+        )
     if "observed_join_delay_p50" in summary:
         analytic = summary.get("join_delay_p50", float("nan"))
         print(
@@ -384,6 +436,11 @@ _SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
         "--viewers": "fixed-scale control-plane grid",
         "--step": "no population axis",
         "--lscs": "fixed-scale control-plane grid",
+    },
+    "qoe": {
+        "--viewers": "fixed-scale QoE grid",
+        "--step": "no population axis",
+        "--lscs": "fixed-scale QoE grid",
     },
 }
 

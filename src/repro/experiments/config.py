@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
+from repro.core.dataplane import DataPlaneConfig
 from repro.core.layering import DelayLayerConfig
 from repro.core.recovery import DEFAULT_HEARTBEAT_PERIOD
 from repro.traces.workload import BandwidthDistribution, ChurnConfig
@@ -98,6 +99,28 @@ class ExperimentConfig:
     #: instant control plane exactly), ``1.0`` uses the latency matrix.
     control_delay_scale: float = 1.0
 
+    # Data plane.
+    #: How frames reach the viewers after the control-plane run:
+    #: ``"off"`` skips the frame replay entirely (the seed semantics,
+    #: golden-pinned); ``"simulated"`` replays the TEEVE trace through
+    #: the built overlay as event-driven data messages with per-edge
+    #: bandwidth serialization, loss and QoE playout accounting.
+    data_plane: str = "off"
+    #: Per-frame, per-edge loss probability of the simulated data plane.
+    data_loss_rate: float = 0.0
+    #: Multiplier on each edge's reserved forwarding rate (``None``
+    #: removes the bandwidth model: zero serialization delay).
+    data_bandwidth_headroom: Optional[float] = 1.0
+    #: Extra per-edge data transit, as a multiple of the last-hop
+    #: propagation delay (``0.0`` keeps the analytic schedule).
+    data_transit_delay_scale: float = 0.0
+    #: Period of the observed-delay ``kappa`` layer refresh during the
+    #: replay (``None`` disables the feedback loop).
+    data_refresh_interval: Optional[float] = 5.0
+    #: Truncate every stream's trace to its first N frames during the
+    #: simulated replay (``None`` replays the full trace).
+    replay_frames_per_stream: Optional[int] = None
+
     # Performance core.
     #: Whether the synthetic latency matrix derives pair delays lazily on
     #: first lookup instead of materializing all O(n^2) pairs up front.
@@ -125,6 +148,21 @@ class ExperimentConfig:
             )
         require_positive(self.heartbeat_period, "heartbeat_period")
         require_non_negative(self.control_delay_scale, "control_delay_scale")
+        if self.data_plane not in ("off", "simulated"):
+            raise ValueError(
+                f"data_plane must be 'off' or 'simulated', got {self.data_plane!r}"
+            )
+        if not (0.0 <= self.data_loss_rate < 1.0):
+            raise ValueError(
+                f"data_loss_rate must be in [0, 1), got {self.data_loss_rate}"
+            )
+        if self.data_bandwidth_headroom is not None:
+            require_positive(self.data_bandwidth_headroom, "data_bandwidth_headroom")
+        require_non_negative(self.data_transit_delay_scale, "data_transit_delay_scale")
+        if self.data_refresh_interval is not None:
+            require_positive(self.data_refresh_interval, "data_refresh_interval")
+        if self.replay_frames_per_stream is not None and self.replay_frames_per_stream < 0:
+            raise ValueError("replay_frames_per_stream must be >= 0 or None")
         if self.d_max <= self.cdn_delta:
             raise ValueError("d_max must exceed the CDN delay Delta")
 
@@ -146,6 +184,19 @@ class ExperimentConfig:
             kappa=self.kappa,
             d_max=self.d_max,
             cache_duration=self.cache_duration,
+        )
+
+    def data_plane_config(self) -> Optional[DataPlaneConfig]:
+        """The simulated data-plane parameters, or ``None`` when off."""
+        if self.data_plane == "off":
+            return None
+        return DataPlaneConfig(
+            loss_rate=self.data_loss_rate,
+            bandwidth_headroom=self.data_bandwidth_headroom,
+            transit_delay_scale=self.data_transit_delay_scale,
+            refresh_interval=self.data_refresh_interval,
+            max_frames_per_stream=self.replay_frames_per_stream,
+            seed=self.seed,
         )
 
     def with_(self, **overrides) -> "ExperimentConfig":

@@ -212,8 +212,15 @@ def run_telecast_scenario(
     the observed join/view-change latency distributions next to the
     analytic ones.
 
+    ``config.data_plane="simulated"`` appends an event-driven frame
+    replay phase after the control-plane run: the synthetic TEEVE trace
+    travels through the built overlay with per-edge bandwidth
+    serialization and loss, and the QoE summary keys
+    (``qoe_startup_delay_*``, ``qoe_continuity_mean``, ``qoe_skew_*``)
+    appear in ``metrics.summary()``.
+
     With ``profile`` set, per-phase wall-clock times (scenario build,
-    join, view_change, churn, metrics) are accumulated into
+    join, view_change, churn, replay, metrics) are accumulated into
     ``metrics.phase_timings`` without affecting any recorded metric.
     """
     build_started = time.perf_counter() if profile else 0.0
@@ -230,6 +237,7 @@ def run_telecast_scenario(
         control_plane=config.control_plane,
         heartbeat_period=config.heartbeat_period,
         control_delay_scale=config.control_delay_scale,
+        data_plane=config.data_plane_config(),
     )
     if profile:
         metrics.add_phase_time("build", build_seconds)

@@ -184,6 +184,42 @@ def controlplane_sweep(
     )
 
 
+def qoe_sweep(
+    base: ExperimentConfig = PAPER_CONFIG, *, viewers: int = 80, num_lscs: int = 2
+) -> SweepSpec:
+    """QoE sensitivity of the simulated data plane: loss x bandwidth headroom.
+
+    Every point appends an event-driven frame replay to the workload run
+    (``data_plane="simulated"``): 200 frames per stream travel through
+    the built overlay with per-edge serialization at
+    ``data_bandwidth_headroom`` times the reserved stream rate and a
+    ``data_loss_rate`` Bernoulli drop per edge, with the observed-delay
+    ``kappa`` layer refresh closing the feedback loop.  Summaries carry
+    the QoE keys (``qoe_startup_delay_*``, ``qoe_continuity_mean``,
+    ``qoe_skew_*``, ``qoe_skew_within_dbuff``) next to the usual
+    acceptance metrics -- the data behind the skew-vs-``d_buff`` table in
+    ``docs/BENCHMARKS.md``.
+    """
+    scaled = base.with_scaled_population(
+        viewers,
+        num_lscs=num_lscs,
+        data_plane="simulated",
+        replay_frames_per_stream=200,
+    )
+    return SweepSpec(
+        name="qoe",
+        base=scaled,
+        grid={
+            "data_loss_rate": [0.0, 0.02, 0.05],
+            "data_bandwidth_headroom": [1.0, 2.0],
+        },
+        # One fixed world per axis point: deriving per-point seeds would
+        # vary the overlay along with the data-plane knobs, burying the
+        # QoE sensitivity under placement noise.
+        derive_seeds=False,
+    )
+
+
 def named_sweeps(
     *,
     viewers: int = 400,
@@ -198,4 +234,5 @@ def named_sweeps(
         "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
         "shards": shard_sweep(viewers=viewers),
         "controlplane": controlplane_sweep(),
+        "qoe": qoe_sweep(),
     }

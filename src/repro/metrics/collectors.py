@@ -100,6 +100,21 @@ class SessionMetrics:
     control_messages_sent: int = 0
     control_messages_delivered: int = 0
     stale_control_messages: int = 0
+    #: QoE measurements of the simulated data plane; all empty/zero when
+    #: the frame replay did not run (instant summaries stay golden).
+    qoe_startup_delays: List[float] = field(default_factory=list)
+    qoe_continuities: List[float] = field(default_factory=list)
+    qoe_skews: List[float] = field(default_factory=list)
+    qoe_playout_skews: List[float] = field(default_factory=list)
+    qoe_dbuff: float = 0.0
+    data_frames_sent: int = 0
+    data_frames_delivered: int = 0
+    data_frames_lost: int = 0
+    data_frames_late: int = 0
+    data_frames_dropped: int = 0
+    #: Streams adjusted / dropped by the observed-delay layer refresh.
+    observed_layer_adjustments: int = 0
+    observed_streams_dropped: int = 0
     snapshots: List[SystemSnapshot] = field(default_factory=list)
     #: Wall-clock seconds spent per phase ("build", "join", "view_change",
     #: "churn", "replay", "metrics"), populated only by profiled runs
@@ -174,6 +189,29 @@ class SessionMetrics:
         """
         self.control_messages_sent += sent
         self.control_messages_delivered += delivered
+
+    def record_qoe(self, report) -> None:
+        """Accumulate the QoE report of one simulated data-plane replay.
+
+        ``report`` is a :class:`repro.core.dataplane.QoEReport`; the raw
+        per-viewer samples are kept so :meth:`summary` can report
+        percentiles, and the frame counters add up across replays.
+        """
+        self.qoe_startup_delays.extend(report.startup_delays())
+        self.qoe_continuities.extend(report.continuities())
+        self.qoe_skews.extend(report.skews())
+        self.qoe_playout_skews.extend(report.playout_skews())
+        self.qoe_dbuff = report.d_buff
+        self.data_frames_sent += report.frames_sent
+        self.data_frames_delivered += report.frames_delivered
+        self.data_frames_lost += report.frames_lost
+        self.data_frames_late += report.frames_late
+        self.data_frames_dropped += report.frames_dropped
+
+    def record_observed_refresh(self, *, adjusted: int, dropped: int) -> None:
+        """Record one observed-delay layer refresh that changed streams."""
+        self.observed_layer_adjustments += adjusted
+        self.observed_streams_dropped += dropped
 
     def record_victims(self, *, victims: int, recovered: int) -> None:
         """Record a victim-recovery episode (departure or view change)."""
@@ -276,4 +314,31 @@ class SessionMetrics:
             summary["observed_repair_delay_p50"] = percentile(
                 self.observed_repair_delays, 50.0
             )
+        # Data-plane QoE measurements: present only when the simulated
+        # frame replay ran, so control-plane-only summaries stay
+        # byte-for-byte what the golden record pins.
+        if self.data_frames_sent:
+            summary["data_frames_sent"] = self.data_frames_sent
+            summary["data_frames_delivered"] = self.data_frames_delivered
+            summary["data_frames_lost"] = self.data_frames_lost
+            summary["data_frames_late"] = self.data_frames_late
+            summary["data_frames_dropped"] = self.data_frames_dropped
+            summary["observed_layer_adjustments"] = self.observed_layer_adjustments
+            summary["observed_streams_dropped"] = self.observed_streams_dropped
+        if self.qoe_startup_delays:
+            summary["qoe_startup_delay_p50"] = percentile(self.qoe_startup_delays, 50.0)
+            summary["qoe_startup_delay_p95"] = percentile(self.qoe_startup_delays, 95.0)
+        if self.qoe_continuities:
+            summary["qoe_continuity_mean"] = sum(self.qoe_continuities) / len(
+                self.qoe_continuities
+            )
+        if self.qoe_skews:
+            summary["qoe_skew_p50"] = percentile(self.qoe_skews, 50.0)
+            summary["qoe_skew_p99"] = percentile(self.qoe_skews, 99.0)
+        if self.qoe_playout_skews:
+            summary["qoe_playout_skew_p99"] = percentile(self.qoe_playout_skews, 99.0)
+            within = sum(
+                1 for skew in self.qoe_playout_skews if skew <= self.qoe_dbuff + 1e-9
+            )
+            summary["qoe_skew_within_dbuff"] = within / len(self.qoe_playout_skews)
         return summary

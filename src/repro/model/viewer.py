@@ -19,9 +19,14 @@ from repro.model.stream import Frame, StreamId
 from repro.util.validation import require_non_negative, require_positive
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedFrame:
-    """A frame held in a viewer's local buffer along with its arrival time."""
+    """A frame held in a viewer's local buffer along with its arrival time.
+
+    Slotted: a full-trace replay buffers millions of these per thousand
+    viewers, and the per-instance ``__dict__`` would dominate the run's
+    memory footprint.
+    """
 
     frame: Frame
     received_at: float

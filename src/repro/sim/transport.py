@@ -1,4 +1,4 @@
-"""Simulated control-plane transport: typed messages with in-flight latency.
+"""Simulated transport: typed control and data messages with in-flight latency.
 
 The synchronous control plane applies every viewer operation the instant
 its workload event fires.  This module supplies the missing middle: a
@@ -17,15 +17,26 @@ deterministic -- outcomes.
 The channel's ``scale`` factor multiplies every transit delay; ``0.0``
 collapses the message plane back to instantaneous delivery (used by the
 equivalence tests that pin the simulated driver to the instant one).
+
+The *data* plane has its own message kind and channel:
+:class:`DataMessage` carries one 3D frame over one overlay edge, and
+:class:`DataChannel` applies the two effects the control plane does not
+model -- per-edge bandwidth-constrained serialization (queueing at the
+parent's reserved forwarding bin) and configurable loss.  Frame volume is
+three orders of magnitude above control traffic, so the data channel
+delivers *inline* from batched replay events rather than scheduling one
+engine event per frame; the delivery timestamps are computed by the same
+FIFO recurrence an event-per-frame simulation would produce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.net.latency import DelayModel
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import SeededRandom
 from repro.util.validation import require_non_negative
 
 
@@ -191,3 +202,128 @@ class ControlChannel:
         return self.simulator.schedule(
             delay, deliver, label=f"msg:{type(message).__name__}"
         )
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class DataMessage:
+    """One 3D frame travelling over one overlay edge.
+
+    ``src`` is the node currently forwarding the stream (a viewer id or
+    the CDN), ``dst`` the receiving viewer.  ``sent_at`` is the absolute
+    simulation time the frame entered the edge (its capture time plus the
+    replay epoch offset); the channel stamps the delivery time after
+    serialization and transit.
+    """
+
+    src: str
+    dst: str
+    sent_at: float
+    stream_id: Any
+    frame_number: int
+    capture_time: float
+    size_megabits: float
+
+
+class DataLink:
+    """One parent's reserved forwarding bin towards one child, one stream.
+
+    The bandwidth allocator reserves one stream-bandwidth bin per child
+    (:func:`repro.core.bandwidth.allocate_outbound`), so each subscription
+    edge serializes its frames over its own FIFO link of ``rate_mbps``
+    (``None`` models an unconstrained link: zero serialization delay).
+    """
+
+    __slots__ = ("rate_mbps", "free_at", "_rng", "loss_rate")
+
+    def __init__(
+        self,
+        rate_mbps: Optional[float],
+        *,
+        loss_rate: float = 0.0,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        if rate_mbps is not None and rate_mbps <= 0:
+            raise ValueError(f"rate_mbps must be > 0 or None, got {rate_mbps}")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.rate_mbps = rate_mbps
+        self.loss_rate = loss_rate
+        self.free_at = 0.0
+        self._rng = rng
+
+    def transmit(self, message: DataMessage, *, path_delay: float) -> Optional[float]:
+        """Serialize one frame onto the link; return its delivery time.
+
+        The frame starts transmitting when the link is free (FIFO
+        queueing), occupies it for ``size / rate`` seconds, then takes
+        ``path_delay`` to reach the child.  Returns ``None`` when the
+        frame is lost in transit (the link time is still consumed -- loss
+        happens on the wire, after serialization).
+        """
+        start = self.free_at if self.free_at > message.sent_at else message.sent_at
+        if self.rate_mbps is None:
+            transmission = 0.0
+        else:
+            transmission = message.size_megabits / self.rate_mbps
+        self.free_at = start + transmission
+        if self.loss_rate > 0.0 and self._rng is not None:
+            if self._rng.random() < self.loss_rate:
+                return None
+        return self.free_at + path_delay
+
+
+class DataChannel:
+    """Per-edge data links of one replay, with shared loss configuration.
+
+    Links are created on first use and keyed by
+    ``(src, dst, stream_id)``; a subscription that is re-parented mid-
+    replay (CDN re-provision) therefore starts on a fresh link while the
+    old parent's bin drains.  Each link draws loss decisions from its own
+    deterministically forked RNG, so edge outcomes are independent of the
+    order in which other edges transmit.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        loss_rate: float = 0.0,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.simulator = simulator
+        self.loss_rate = loss_rate
+        self._rng = rng or SeededRandom(0)
+        self._links: Dict[Tuple[str, str, Any], DataLink] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def link(
+        self, src: str, dst: str, stream_id: Any, rate_mbps: Optional[float]
+    ) -> DataLink:
+        """Get (creating on first use) the link of one subscription edge."""
+        key = (src, dst, stream_id)
+        existing = self._links.get(key)
+        if existing is not None:
+            return existing
+        created = DataLink(
+            rate_mbps,
+            loss_rate=self.loss_rate,
+            rng=self._rng.fork(len(self._links)) if self.loss_rate > 0.0 else None,
+        )
+        self._links[key] = created
+        return created
+
+    def transmit(
+        self, message: DataMessage, link: DataLink, *, path_delay: float
+    ) -> Optional[float]:
+        """Send one frame over a link, keeping the channel counters."""
+        self.sent += 1
+        delivered_at = link.transmit(message, path_delay=path_delay)
+        if delivered_at is None:
+            self.lost += 1
+        else:
+            self.delivered += 1
+        return delivered_at

@@ -17,6 +17,7 @@ configured bound, matching the paper's 2 Mbps envelope.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -100,10 +101,14 @@ class TeeveSessionTrace:
         """Generate the full frame sequence of one stream.
 
         The sequence is deterministic for a given generator instance and
-        stream (each stream consumes an independent forked RNG).
+        stream (each stream consumes an independent forked RNG).  The
+        fork salt is a CRC of the stream's printable id rather than
+        ``hash()``: string hashing is salted per process, and the sweep
+        engine runs points in worker processes whose QoE records must be
+        reproducible anywhere.
         """
         stream = self._streams[stream_id]
-        rng = self._rng.fork(hash(stream_id) & 0xFFFF)
+        rng = self._rng.fork(zlib.crc32(str(stream_id).encode("utf-8")) & 0xFFFF)
         cfg = self.config
         frames: List[Frame] = []
         nominal_interval = stream.frame_interval()

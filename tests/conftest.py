@@ -1,4 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and scenario helpers for the test suite.
+
+Besides the world-building fixtures, this module centralises the
+invariant assertions and join helpers the control-plane, multi-LSC,
+recovery and data-plane suites all need -- one implementation of "join
+everyone", "no dangling references" and "per-shard invariants" instead
+of a copy per test file.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +13,14 @@ import pytest
 
 from repro.core.layering import DelayLayerConfig
 from repro.core.telecast import TeleCastSystem, build_views
+from repro.experiments.config import PAPER_CONFIG
 from repro.model.cdn import CDN
 from repro.model.producer import make_default_producers
 from repro.model.viewer import Viewer
 from repro.net.latency import DelayModel, LatencyMatrix
 from repro.net.planetlab import generate_planetlab_matrix
 from repro.sim.rng import SeededRandom
+from repro.traces.workload import ChurnConfig
 
 
 @pytest.fixture
@@ -66,6 +75,126 @@ def small_system(producers, flat_delay_model, layer_config):
     """A TeleCast system with an ample CDN, suitable for small scenarios."""
     cdn = CDN(10_000.0, delta=60.0)
     return TeleCastSystem(producers, cdn, flat_delay_model, layer_config)
+
+
+@pytest.fixture
+def sharded_config():
+    """A 300-viewer scenario sharded over 3 LSCs."""
+    return PAPER_CONFIG.with_(
+        num_viewers=300, cdn_capacity_mbps=1800.0, num_lscs=3, num_views=4
+    )
+
+
+@pytest.fixture
+def dynamic_config():
+    """A dynamic scenario exercising every control-message type.
+
+    Spread arrivals, view changes, graceful departures and abrupt churn
+    with rejoins -- the world the event-driven control-plane (and data-
+    plane) tests replay.
+    """
+    return PAPER_CONFIG.with_scaled_population(
+        60,
+        num_lscs=2,
+        arrival_rate_per_second=5.0,
+        view_change_probability=0.2,
+        departure_probability=0.2,
+        churn=ChurnConfig(
+            failure_rate_per_second=0.1,
+            graceful_fraction=0.25,
+            rejoin_probability=0.3,
+            duration=60.0,
+        ),
+    )
+
+
+def join_all(system, viewers, view, *, require_accepted=True):
+    """Join every viewer to one view through the system facade."""
+    for viewer in viewers:
+        result = system.join_viewer(viewer, view)
+        if require_accepted:
+            assert result.accepted
+    return system
+
+
+def join_all_scenario(system, scenario):
+    """Flash-crowd join of a built scenario (joins only, in order)."""
+    by_id = {viewer.viewer_id: viewer for viewer in scenario.viewers}
+    seen = set()
+    for event in scenario.events:
+        if event.kind != "join" or event.viewer_id in seen:
+            continue
+        seen.add(event.viewer_id)
+        view = scenario.views[event.view_index % len(scenario.views)]
+        system.join_viewer(by_id[event.viewer_id], view, event.time)
+    return system
+
+
+def assert_no_dangling_references(system, gone_viewer_ids):
+    """No session, tree or routing table may still reference departed viewers."""
+    gone = set(gone_viewer_ids)
+    for lsc in system.gsc.lscs:
+        assert not gone & set(lsc.sessions)
+        for group in lsc.groups.values():
+            assert not gone & set(group.sessions)
+            for tree in group.trees.values():
+                tree.validate()
+                assert not gone & set(tree.members())
+            for session in group.sessions.values():
+                for entry in session.routing_table.entries():
+                    assert entry.match.parent_id not in gone
+                    assert not gone & set(entry.children)
+                for sub in session.subscriptions.values():
+                    assert sub.parent_id not in gone
+
+
+def assert_routing_matches_trees(system):
+    """Every tree edge must be mirrored by forwarding state at the parent."""
+    for lsc in system.gsc.lscs:
+        for group in lsc.groups.values():
+            for stream_id, tree in group.trees.items():
+                for viewer_id in tree.members():
+                    session = lsc.sessions.get(viewer_id)
+                    assert session is not None
+                    tree_children = set(tree.node(viewer_id).children)
+                    table_children = set(session.routing_table.children_of(stream_id))
+                    assert tree_children == table_children, (
+                        f"{viewer_id}/{stream_id}: tree children {tree_children} "
+                        f"!= routing children {table_children}"
+                    )
+
+
+def assert_layer_invariants(system):
+    """Every connected viewer keeps the delay-layer invariants."""
+    config = system.layer_config
+    for lsc in system.gsc.lscs:
+        for session in lsc.sessions.values():
+            assert session.skew_bound_satisfied(config.kappa)
+            for sub in session.subscriptions.values():
+                assert config.is_acceptable_layer(sub.layer)
+                assert sub.effective_delay >= sub.end_to_end_delay - 1e-9
+
+
+def assert_shard_invariants(system):
+    """Acceptance and delay-layer invariants, checked per LSC shard."""
+    layer_config = system.layer_config
+    for lsc in system.gsc.lscs:
+        for viewer_id, session in lsc.sessions.items():
+            # Every connected viewer holds the highest-priority stream of
+            # every producer site (the acceptance rule of Section IV).
+            must_have = set(session.view.highest_priority_per_site.values())
+            assert must_have.issubset(set(session.subscriptions)), viewer_id
+            # Every accepted stream sits in an acceptable delay layer.
+            for stream_id, sub in session.subscriptions.items():
+                assert layer_config.is_acceptable_layer(sub.layer), (
+                    viewer_id,
+                    stream_id,
+                    sub.layer,
+                )
+        # The overlay trees of the shard are internally consistent.
+        for group in lsc.groups.values():
+            for tree in group.trees.values():
+                tree.validate()
 
 
 @pytest.fixture

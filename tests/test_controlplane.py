@@ -20,7 +20,6 @@ import json
 import pytest
 
 from repro.core.telecast import TeleCastSystem, build_views
-from repro.experiments.config import PAPER_CONFIG
 from repro.experiments.runner import run_telecast_scenario
 from repro.model.cdn import CDN, CDN_NODE_ID
 from repro.model.producer import make_default_producers
@@ -28,23 +27,7 @@ from repro.model.viewer import Viewer
 from repro.net.latency import DelayModel, LatencyMatrix
 from repro.sim.engine import Simulator
 from repro.sim.transport import ControlChannel, Heartbeat, JoinRequest
-from repro.traces.workload import ChurnConfig, ViewerEvent
-
-#: A dynamic scenario exercising every message type: spread arrivals,
-#: view changes, graceful departures and abrupt churn with rejoins.
-DYNAMIC_CONFIG = PAPER_CONFIG.with_scaled_population(
-    60,
-    num_lscs=2,
-    arrival_rate_per_second=5.0,
-    view_change_probability=0.2,
-    departure_probability=0.2,
-    churn=ChurnConfig(
-        failure_rate_per_second=0.1,
-        graceful_fraction=0.25,
-        rejoin_probability=0.3,
-        duration=60.0,
-    ),
-)
+from repro.traces.workload import ViewerEvent
 
 
 class TestControlChannel:
@@ -109,10 +92,10 @@ class TestControlChannel:
 class TestZeroDelayEquivalence:
     """Acceptance criterion: simulated @ zero delay == instant, exactly."""
 
-    def test_placement_and_acceptance_match_instant(self):
-        instant = run_telecast_scenario(DYNAMIC_CONFIG, snapshot_every=10)
+    def test_placement_and_acceptance_match_instant(self, dynamic_config):
+        instant = run_telecast_scenario(dynamic_config, snapshot_every=10)
         simulated = run_telecast_scenario(
-            DYNAMIC_CONFIG.with_(
+            dynamic_config.with_(
                 control_plane="simulated", control_delay_scale=0.0
             ),
             snapshot_every=10,
@@ -140,9 +123,9 @@ class TestZeroDelayEquivalence:
         # The snapshot cadence (every N applied joins) is preserved too.
         assert len(ms.snapshots) == len(mi.snapshots)
 
-    def test_zero_delay_observed_latency_is_zero(self):
+    def test_zero_delay_observed_latency_is_zero(self, dynamic_config):
         simulated = run_telecast_scenario(
-            DYNAMIC_CONFIG.with_(
+            dynamic_config.with_(
                 control_plane="simulated", control_delay_scale=0.0
             ),
             snapshot_every=None,
@@ -154,16 +137,16 @@ class TestZeroDelayEquivalence:
 class TestMessageLevelDeterminism:
     """Acceptance criterion: same seed -> byte-identical summaries."""
 
-    def test_same_seed_twice_is_byte_identical(self):
-        config = DYNAMIC_CONFIG.with_(control_plane="simulated")
+    def test_same_seed_twice_is_byte_identical(self, dynamic_config):
+        config = dynamic_config.with_(control_plane="simulated")
         first = run_telecast_scenario(config, snapshot_every=10)
         second = run_telecast_scenario(config, snapshot_every=10)
         assert json.dumps(first.metrics.summary(), sort_keys=True) == json.dumps(
             second.metrics.summary(), sort_keys=True
         )
 
-    def test_simulated_run_records_observed_distributions(self):
-        config = DYNAMIC_CONFIG.with_(control_plane="simulated")
+    def test_simulated_run_records_observed_distributions(self, dynamic_config):
+        config = dynamic_config.with_(control_plane="simulated")
         result = run_telecast_scenario(config, snapshot_every=None)
         summary = result.metrics.summary()
         assert summary["control_messages_sent"] > 0
@@ -256,15 +239,10 @@ class TestLastSlotRace:
 
 
 class TestStaleMessages:
-    def _flat_system(self):
-        producers = make_default_producers()
-        delay_model = DelayModel(
-            LatencyMatrix(default_delay=0.05), control_processing_delay=0.05
-        )
-        return TeleCastSystem(producers, CDN(10_000.0, delta=60.0), delay_model), producers
-
-    def test_view_change_arriving_after_viewer_failed_is_stale(self):
-        system, producers = self._flat_system()
+    def test_view_change_arriving_after_viewer_failed_is_stale(
+        self, small_system, producers
+    ):
+        system = small_system
         views = build_views(producers, num_views=2, streams_per_site=3)
         viewers = [
             Viewer("v-0", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0),
@@ -285,8 +263,8 @@ class TestStaleMessages:
         assert metrics.view_change_delays == []  # the change was never applied
         assert system.lsc_of("v-1") is not None  # bystander unharmed
 
-    def test_inflight_ack_state_is_visible_then_cleared(self):
-        system, producers = self._flat_system()
+    def test_inflight_ack_state_is_visible_then_cleared(self, small_system, producers):
+        system = small_system
         views = build_views(producers, num_views=1, streams_per_site=3)
         viewers = [Viewer("v-0", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0)]
         events = [ViewerEvent(time=0.0, kind="join", viewer_id="v-0")]

@@ -143,3 +143,193 @@ class TestLayerRefresh:
         tree.node("child").end_to_end_delay = 61.5
         manager.refresh_layers()
         assert child_session.skew_bound_satisfied(lsc.layer_config.kappa)
+
+
+class TestObservedRefresh:
+    """Edge cases of the observed-delay ``kappa`` layer refresh."""
+
+    def _p2p_stream(self, lsc, viewer_id):
+        session = lsc.session_of(viewer_id)
+        return next(
+            stream_id
+            for stream_id, sub in session.subscriptions.items()
+            if not sub.via_cdn
+        )
+
+    def test_lagging_stream_pushed_down_to_observed_layer(self, lsc, manager, default_view):
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        session = lsc.session_of("child")
+        stream_id = self._p2p_stream(lsc, "child")
+        config = lsc.layer_config
+        observed = config.delta + 3.2 * config.tau  # mid-layer-3 lag
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("child", stream_id): observed}, now=10.0
+        )
+        assert adjusted >= 1
+        assert dropped == {}
+        sub = session.subscriptions[stream_id]
+        assert sub.layer >= 3
+        assert sub.effective_delay >= observed - config.tau
+        # The sibling streams were pushed along: the view stays synchronous.
+        assert session.skew_bound_satisfied(config.kappa)
+
+    def test_on_schedule_streams_are_untouched(self, lsc, manager, default_view):
+        join(lsc, "u1", default_view)
+        session = lsc.session_of("u1")
+        before = {
+            sid: (sub.layer, sub.effective_delay)
+            for sid, sub in session.subscriptions.items()
+        }
+        # Observed exactly the structural schedule: nothing may move.
+        samples = {
+            ("u1", sid): sub.effective_delay or sub.end_to_end_delay
+            for sid, sub in session.subscriptions.items()
+        }
+        adjusted, dropped = manager.refresh_layers_from_observed(samples, now=5.0)
+        assert (adjusted, dropped) == (0, {})
+        assert before == {
+            sid: (sub.layer, sub.effective_delay)
+            for sid, sub in session.subscriptions.items()
+        }
+
+    def test_violation_on_last_acceptable_layer_reprovisions_from_cdn(
+        self, lsc, manager, default_view
+    ):
+        # Ample CDN: a stream lagging beyond d_max is rescued, not dropped.
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        session = lsc.session_of("child")
+        stream_id = self._p2p_stream(lsc, "child")
+        config = lsc.layer_config
+        beyond = config.d_max + 5.0  # no acceptable layer can absorb this
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("child", stream_id): beyond}, now=10.0
+        )
+        assert adjusted >= 1
+        assert dropped == {}
+        sub = session.subscriptions[stream_id]
+        assert sub.via_cdn
+        assert sub.parent_id == CDN_NODE_ID
+        assert config.is_acceptable_layer(sub.layer)
+        assert session.skew_bound_satisfied(config.kappa)
+        group = lsc.groups[default_view.view_id]
+        group.tree(stream_id).validate()
+
+    def test_violation_with_exhausted_cdn_drops_the_stream(
+        self, producers, flat_delay_model, layer_config, default_view
+    ):
+        cdn = CDN(12.0, delta=60.0)  # room for exactly the seed's full view
+        gsc = GlobalSessionController(cdn, flat_delay_model, layer_config)
+        gsc.register_producer_streams([s for site in producers for s in site.streams])
+        lsc = gsc.add_lsc("LSC-0")
+        manager = AdaptationManager(lsc)
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "child", default_view, outbound=0.0)
+        session = lsc.session_of("child")
+        stream_id = next(
+            sid for sid, sub in session.subscriptions.items() if not sub.via_cdn
+        )
+        beyond = layer_config.d_max + 5.0
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("child", stream_id): beyond}, now=10.0
+        )
+        assert dropped == {"child": [stream_id]}
+        assert stream_id not in session.subscriptions
+        group = lsc.groups[default_view.view_id]
+        assert "child" not in group.tree(stream_id)
+        group.tree(stream_id).validate()
+        # The child still holds every remaining stream consistently.
+        for sid, sub in session.subscriptions.items():
+            assert layer_config.is_acceptable_layer(sub.layer)
+
+    def test_refresh_racing_a_concurrent_view_change_ignores_stale_samples(
+        self, lsc, manager, views
+    ):
+        # The measurement window straddles a view change: by the time the
+        # refresh fires, its samples reference the *old* view's streams.
+        join(lsc, "u1", views[0], outbound=6.0)
+        old_streams = list(lsc.session_of("u1").subscriptions)
+        samples = {
+            ("u1", sid): lsc.layer_config.d_max + 10.0 for sid in old_streams
+        }
+        manager.handle_view_change("u1", views[3], now=9.0)
+        session = lsc.session_of("u1")
+        before = {
+            sid: (sub.layer, sub.parent_id) for sid, sub in session.subscriptions.items()
+        }
+        stale_only = {
+            key: value
+            for key, value in samples.items()
+            if key[1] not in session.subscriptions
+        }
+        assert stale_only, "the view change must have replaced some streams"
+        adjusted, dropped = manager.refresh_layers_from_observed(stale_only, now=10.0)
+        assert (adjusted, dropped) == (0, {})
+        assert before == {
+            sid: (sub.layer, sub.parent_id) for sid, sub in session.subscriptions.items()
+        }
+        assert session.view.view_id == views[3].view_id
+        assert session.skew_bound_satisfied(lsc.layer_config.kappa)
+
+    def test_cdn_fed_stream_over_limit_is_kept(self, lsc, manager, default_view):
+        # A stream already fed by the CDN is on the best provisioning the
+        # system has: transient congestion past d_max must not drop it.
+        join(lsc, "u1", default_view, outbound=0.0)
+        session = lsc.session_of("u1")
+        stream_id, sub = next(
+            (sid, sub) for sid, sub in session.subscriptions.items() if sub.via_cdn
+        )
+        before = (sub.layer, sub.parent_id)
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("u1", stream_id): lsc.layer_config.d_max + 20.0}, now=10.0
+        )
+        assert dropped == {}
+        kept = session.subscriptions[stream_id]
+        assert kept.via_cdn
+        assert (kept.layer, kept.parent_id) == before
+
+    def test_drop_recovers_orphaned_children(
+        self, producers, flat_delay_model, layer_config, default_view
+    ):
+        cdn = CDN(12.0, delta=60.0)  # room for exactly the seed's full view
+        gsc = GlobalSessionController(cdn, flat_delay_model, layer_config)
+        gsc.register_producer_streams([s for site in producers for s in site.streams])
+        lsc = gsc.add_lsc("LSC-0")
+        manager = AdaptationManager(lsc)
+        join(lsc, "seed", default_view, outbound=12.0)
+        join(lsc, "relay", default_view, outbound=12.0)
+        join(lsc, "leaf", default_view, outbound=0.0)
+        group = lsc.groups[default_view.view_id]
+        # Find a stream the relay forwards to the leaf via P2P.
+        relay_session = lsc.session_of("relay")
+        stream_id = next(
+            sid
+            for sid, sub in relay_session.subscriptions.items()
+            if not sub.via_cdn and "leaf" in group.tree(sid).node("relay").children
+        )
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("relay", stream_id): layer_config.d_max + 20.0}, now=10.0
+        )
+        assert dropped == {"relay": [stream_id]}
+        tree = group.tree(stream_id)
+        tree.validate()
+        assert "relay" not in tree
+        # The leaf was orphaned by the drop; victim recovery either
+        # re-attached it (tree parent == subscription parent) or removed
+        # the subscription -- never a dangling reference to the relay.
+        leaf_sub = lsc.session_of("leaf").subscriptions.get(stream_id)
+        if leaf_sub is None:
+            assert "leaf" not in tree
+        else:
+            assert leaf_sub.parent_id != "relay"
+            assert tree.node("leaf").parent_id == leaf_sub.parent_id
+
+    def test_samples_of_departed_viewer_are_ignored(self, lsc, manager, default_view):
+        join(lsc, "u1", default_view)
+        stream_id = next(iter(lsc.session_of("u1").subscriptions))
+        manager.handle_departure("u1", now=5.0)
+        adjusted, dropped = manager.refresh_layers_from_observed(
+            {("u1", stream_id): 100.0}, now=6.0
+        )
+        assert (adjusted, dropped) == (0, {})

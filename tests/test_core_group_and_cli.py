@@ -147,6 +147,47 @@ class TestRunSubcommand:
         assert main(["run", "--viewers", "40", "--system", "random"]) == 0
         assert "random:" in capsys.readouterr().out
 
+    def test_run_simulated_data_plane_prints_qoe(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--viewers", "40", "--data-plane",
+                    "--loss-rate", "0.05", "--replay-frames", "40",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "data plane:" in out
+        assert "continuity=" in out
+        # The offline replay line must NOT appear: --replay-frames
+        # truncated the simulated replay instead.
+        assert "replayed" not in out
+
+    def test_run_data_plane_unconstrained_bandwidth(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--viewers", "40", "--data-plane",
+                    "--bandwidth-headroom", "inf", "--replay-frames", "20",
+                ]
+            )
+            == 0
+        )
+        assert "0 late" in capsys.readouterr().out
+
+    def test_run_rejects_data_plane_with_random(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "random", "--data-plane"])
+
+    def test_run_rejects_invalid_loss_rate(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--data-plane", "--loss-rate", "1.5"])
+
+    def test_run_rejects_non_positive_headroom(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--data-plane", "--bandwidth-headroom", "0"])
+
     def test_run_rejects_replay_with_random(self):
         with pytest.raises(SystemExit):
             main(["run", "--system", "random", "--replay-frames", "3"])

@@ -20,49 +20,7 @@ from repro.experiments.runner import (
 )
 from repro.model.cdn import CDN_NODE_ID
 from repro.model.viewer import Viewer
-
-
-@pytest.fixture
-def sharded_config():
-    """A 300-viewer scenario sharded over 3 LSCs."""
-    return PAPER_CONFIG.with_(
-        num_viewers=300, cdn_capacity_mbps=1800.0, num_lscs=3, num_views=4
-    )
-
-
-def _join_all(system, scenario):
-    """Flash-crowd join of the whole population (joins only, in order)."""
-    by_id = {viewer.viewer_id: viewer for viewer in scenario.viewers}
-    seen = set()
-    for event in scenario.events:
-        if event.kind != "join" or event.viewer_id in seen:
-            continue
-        seen.add(event.viewer_id)
-        view = scenario.views[event.view_index % len(scenario.views)]
-        system.join_viewer(by_id[event.viewer_id], view, event.time)
-    return system
-
-
-def _assert_shard_invariants(system):
-    """Acceptance and delay-layer invariants, checked per LSC shard."""
-    layer_config = system.layer_config
-    for lsc in system.gsc.lscs:
-        for viewer_id, session in lsc.sessions.items():
-            # Every connected viewer holds the highest-priority stream of
-            # every producer site (the acceptance rule of Section IV).
-            must_have = set(session.view.highest_priority_per_site.values())
-            assert must_have.issubset(set(session.subscriptions)), viewer_id
-            # Every accepted stream sits in an acceptable delay layer.
-            for stream_id, sub in session.subscriptions.items():
-                assert layer_config.is_acceptable_layer(sub.layer), (
-                    viewer_id,
-                    stream_id,
-                    sub.layer,
-                )
-        # The overlay trees of the shard are internally consistent.
-        for group in lsc.groups.values():
-            for tree in group.trees.values():
-                tree.validate()
+from tests.conftest import assert_shard_invariants, join_all_scenario
 
 
 class TestRegionSharding:
@@ -78,7 +36,7 @@ class TestRegionSharding:
 
     def test_viewer_regions_match_lsc_shards(self, sharded_config):
         scenario = build_scenario(sharded_config)
-        system = _join_all(build_telecast_system(scenario), scenario)
+        system = join_all_scenario(build_telecast_system(scenario), scenario)
         region_of_lsc = {
             f"LSC-{index}": set(regions)
             for index, regions in enumerate(scenario.lsc_regions)
@@ -97,8 +55,8 @@ class TestRegionSharding:
 
     def test_shard_invariants_hold(self, sharded_config):
         scenario = build_scenario(sharded_config)
-        system = _join_all(build_telecast_system(scenario), scenario)
-        _assert_shard_invariants(system)
+        system = join_all_scenario(build_telecast_system(scenario), scenario)
+        assert_shard_invariants(system)
 
     def test_single_lsc_serves_all_regions(self):
         config = PAPER_CONFIG.with_(num_viewers=60, cdn_capacity_mbps=360.0)
@@ -114,6 +72,7 @@ class TestRegionSharding:
         assert sum(len(shard) for shard in scenario.lsc_regions) == 7
 
 
+@pytest.mark.slow
 class TestThousandViewerScenario:
     def test_1k_viewers_across_three_lscs_byte_identical(self):
         config = PAPER_CONFIG.with_(num_viewers=1000, num_lscs=3)
@@ -133,7 +92,7 @@ class TestThousandViewerScenario:
 class TestLscFailover:
     def _failed_over_system(self, sharded_config):
         scenario = build_scenario(sharded_config)
-        system = _join_all(build_telecast_system(scenario), scenario)
+        system = join_all_scenario(build_telecast_system(scenario), scenario)
         victim = max(system.viewers_per_lsc(), key=lambda k: system.viewers_per_lsc()[k])
         before = system.viewers_per_lsc()
         result = system.fail_lsc(victim, now=10.0)
@@ -151,7 +110,7 @@ class TestLscFailover:
 
     def test_no_dangling_routing_state_after_failover(self, sharded_config):
         scenario, system, victim, _, _ = self._failed_over_system(sharded_config)
-        _assert_shard_invariants(system)
+        assert_shard_invariants(system)
         for lsc in system.gsc.lscs:
             connected = set(lsc.sessions)
             for viewer_id, session in lsc.sessions.items():

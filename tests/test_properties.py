@@ -102,6 +102,93 @@ join_sequences = st.lists(
 )
 
 
+class TestAdmitSequenceMonotonicity:
+    """Randomized (60-seed) admit-sequence property of the allocator.
+
+    The paper's monotonicity invariant (Section IV-B1): because outbound
+    capacity is split round-robin in priority order and admission is a
+    priority prefix, the forwarding capacity the allocator makes
+    *available* for a higher-priority stream is at least that of every
+    lower-priority one -- per admitted viewer and cumulatively after any
+    admit sequence.  (The *net* group supply can dip below this once CDN
+    fallback consumes P2P slots asymmetrically; the invariant is about
+    what the allocator contributes, which is what the overlay's
+    closer-to-root placement of high-outbound viewers rests on.)
+    """
+
+    SEEDS = range(60)
+
+    def _random_world(self, rng):
+        producers = make_default_producers(2, rng.choice([4, 6, 8]))
+        views = build_views(
+            producers, num_views=3, streams_per_site=rng.choice([2, 3])
+        )
+        return views[rng.randrange(len(views))]
+
+    def test_cumulative_allocated_capacity_is_priority_monotone(self):
+        for seed in self.SEEDS:
+            rng = random.Random(seed)
+            view = self._random_world(rng)
+            stream_ids = list(view.stream_ids)
+            supply = {sid: rng.choice([8.0, 12.0, 16.0]) for sid in stream_ids}
+            # Uniform seed supply: the invariant concerns the allocator's
+            # contributions, so the ledger starts flat.
+            flat = max(supply.values())
+            available = {sid: flat for sid in stream_ids}
+            cumulative = {sid: 0.0 for sid in stream_ids}
+            admitted = 0
+            for index in range(rng.randrange(10, 40)):
+                inbound = rng.choice([4.0, 8.0, 12.0])
+                outbound = rng.uniform(0.0, 16.0)
+                alloc_in = allocate_inbound(view, inbound, available)
+                if not alloc_in.request_accepted:
+                    continue
+                admitted += 1
+                alloc_out = allocate_outbound(alloc_in.accepted, outbound)
+                # Per-admission invariant (the allocator's own guarantee).
+                assert priority_monotonic(alloc_in.accepted, alloc_out)
+                assert alloc_out.total_allocated_mbps <= outbound + 1e-9
+                for entry in alloc_in.accepted:
+                    available[entry.stream_id] -= entry.stream.bandwidth_mbps
+                for sid, mbps in alloc_out.per_stream_mbps.items():
+                    available[sid] += mbps
+                    cumulative[sid] += mbps
+                # Cumulative invariant: after ANY admit sequence, the
+                # allocated forwarding capacity is non-increasing along
+                # the global priority order.
+                ordered = [cumulative[sid] for sid in stream_ids]
+                for higher, lower in zip(ordered, ordered[1:]):
+                    assert lower <= higher + 1e-9, (seed, index, ordered)
+            assert admitted > 0, f"seed {seed} admitted nobody"
+
+    def test_ablation_policies_break_or_trivialise_the_invariant(self):
+        # Sanity check that the property is not vacuous: the equal-split
+        # ablation violates per-admission monotonicity for some sequence.
+        from repro.core.bandwidth import allocate_outbound_equal_split
+
+        violated = False
+        for seed in self.SEEDS:
+            rng = random.Random(seed)
+            view = self._random_world(rng)
+            supply = {sid: 100.0 for sid in view.stream_ids}
+            alloc_in = allocate_inbound(view, 12.0, supply)
+            if not alloc_in.accepted:
+                continue
+            alloc_out = allocate_outbound_equal_split(
+                alloc_in.accepted, rng.uniform(0.0, 16.0)
+            )
+            if not priority_monotonic(alloc_in.accepted, alloc_out):
+                violated = True
+                break
+        # Equal split gives every stream the same bin count, so strict
+        # violations require unequal stream bandwidths -- with the paper's
+        # homogeneous 2 Mbps streams it stays (trivially) monotone.
+        assert violated or all(
+            entry.stream.bandwidth_mbps == 2.0
+            for entry in alloc_in.accepted
+        )
+
+
 class TestTopologyProperties:
     @given(sequence=join_sequences)
     @settings(max_examples=100, deadline=None)

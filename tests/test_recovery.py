@@ -19,58 +19,13 @@ from repro.traces.workload import (
     ViewerWorkload,
     WorkloadConfig,
 )
-from tests.conftest import make_viewers
-
-
-def join_all(system, viewers, view):
-    for viewer in viewers:
-        result = system.join_viewer(viewer, view)
-        assert result.accepted
-
-
-def assert_no_dangling_references(system, gone_viewer_ids):
-    """No session, tree or routing table may still reference departed viewers."""
-    gone = set(gone_viewer_ids)
-    for lsc in system.gsc.lscs:
-        assert not gone & set(lsc.sessions)
-        for group in lsc.groups.values():
-            assert not gone & set(group.sessions)
-            for tree in group.trees.values():
-                tree.validate()
-                assert not gone & set(tree.members())
-            for session in group.sessions.values():
-                for entry in session.routing_table.entries():
-                    assert entry.match.parent_id not in gone
-                    assert not gone & set(entry.children)
-                for sub in session.subscriptions.values():
-                    assert sub.parent_id not in gone
-
-
-def assert_routing_matches_trees(system):
-    """Every tree edge must be mirrored by forwarding state at the parent."""
-    for lsc in system.gsc.lscs:
-        for group in lsc.groups.values():
-            for stream_id, tree in group.trees.items():
-                for viewer_id in tree.members():
-                    session = lsc.sessions.get(viewer_id)
-                    assert session is not None
-                    tree_children = set(tree.node(viewer_id).children)
-                    table_children = set(session.routing_table.children_of(stream_id))
-                    assert tree_children == table_children, (
-                        f"{viewer_id}/{stream_id}: tree children {tree_children} "
-                        f"!= routing children {table_children}"
-                    )
-
-
-def assert_layer_invariants(system):
-    """Every connected viewer keeps the delay-layer invariants after repair."""
-    config = system.layer_config
-    for lsc in system.gsc.lscs:
-        for session in lsc.sessions.values():
-            assert session.skew_bound_satisfied(config.kappa)
-            for sub in session.subscriptions.values():
-                assert config.is_acceptable_layer(sub.layer)
-                assert sub.effective_delay >= sub.end_to_end_delay - 1e-9
+from tests.conftest import (
+    assert_layer_invariants,
+    assert_no_dangling_references,
+    assert_routing_matches_trees,
+    join_all,
+    make_viewers,
+)
 
 
 class TestFailureDetector:
@@ -146,10 +101,8 @@ class TestAbruptDeparture:
         assert result.repaired_p2p == len(result.orphaned)
         assert result.repaired_cdn == 0
 
-    def test_zero_capacity_population_falls_back_to_cdn(
-        self, producers, flat_delay_model, layer_config
-    ):
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+    def test_zero_capacity_population_falls_back_to_cdn(self, small_system, producers):
+        system = small_system
         views = build_views(producers, num_views=1)
         viewers = make_viewers(6, outbound=2.0)
         join_all(system, viewers, views[0])
@@ -287,10 +240,8 @@ class TestLscFailover:
         )
         assert system.cdn.used_outbound_mbps == pytest.approx(via_cdn_mbps)
 
-    def test_failover_without_survivor_loses_region(
-        self, producers, flat_delay_model, layer_config
-    ):
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+    def test_failover_without_survivor_loses_region(self, small_system, producers):
+        system = small_system
         views = build_views(producers, num_views=1)
         viewers = make_viewers(4, outbound=6.0)
         join_all(system, viewers, views[0])
@@ -304,9 +255,9 @@ class TestLscFailover:
             small_system.fail_lsc("LSC-99")
 
     def test_lost_failover_viewers_leave_request_accounting(
-        self, producers, flat_delay_model, layer_config
+        self, small_system, producers
     ):
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        system = small_system
         views = build_views(producers, num_views=1)
         viewers = make_viewers(4, outbound=6.0)
         join_all(system, viewers, views[0])
@@ -364,9 +315,9 @@ class TestChurnSchedules:
         assert [e.kind for e in events] == ["join", "fail"]
 
     def test_same_timestamp_mass_leave_disconnects_viewer(
-        self, producers, flat_delay_model, layer_config
+        self, small_system, producers
     ):
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        system = small_system
         views = build_views(producers, num_views=1)
         viewers = make_viewers(5, outbound=6.0)
         base = [
@@ -412,11 +363,9 @@ class TestChurnSchedules:
         for event in rejoins:
             assert event.view_index == view_at_join[event.viewer_id]
 
-    def test_mass_leave_then_flash_crowd_converges(
-        self, producers, flat_delay_model, layer_config
-    ):
+    def test_mass_leave_then_flash_crowd_converges(self, small_system, producers):
         """The acceptance scenario: a mass-leave followed by a rejoin flash crowd."""
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+        system = small_system
         views = build_views(producers, num_views=2)
         viewers = make_viewers(40, outbound=8.0)
         events = [
@@ -438,10 +387,8 @@ class TestChurnSchedules:
         assert_routing_matches_trees(system)
         assert_layer_invariants(system)
 
-    def test_churned_workload_leaves_no_dangling_state(
-        self, producers, flat_delay_model, layer_config
-    ):
-        system = TeleCastSystem(producers, CDN(10_000.0), flat_delay_model, layer_config)
+    def test_churned_workload_leaves_no_dangling_state(self, small_system, producers):
+        system = small_system
         views = build_views(producers, num_views=2)
         viewers, base = self._base(num_viewers=30)
         churn = ChurnWorkload(

@@ -344,6 +344,7 @@ class TestPresets:
             "bandwidth",
             "shards",
             "controlplane",
+            "qoe",
         }
 
     def test_scale10k_sweeps_an_order_of_magnitude(self):
