@@ -696,6 +696,10 @@ class GlobalSessionController:
         """A specific LSC by id."""
         return self._lscs[lsc_id]
 
+    def has_lsc(self, lsc_id: str) -> bool:
+        """Whether an LSC with this id is (still) registered."""
+        return lsc_id in self._lscs
+
     def remove_lsc(self, lsc_id: str) -> LocalSessionController:
         """Unregister an LSC (controller failure) and return its last state.
 

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.model.cdn import CDN_NODE_ID
 from repro.model.stream import Frame, StreamId
 from repro.sim.rng import SeededRandom
-from repro.sim.transport import DataChannel, DataMessage
+from repro.sim.transport import DataChannel, DataMessage, GilbertElliottConfig
 from repro.traces.teeve import TeeveSessionTrace
 from repro.util.validation import require_non_negative, require_positive
 
@@ -240,7 +240,17 @@ class DataPlaneConfig:
     Attributes
     ----------
     loss_rate:
-        Per-frame, per-edge loss probability in ``[0, 1)``.
+        Per-frame, per-edge loss probability in ``[0, 1)`` (for the
+        Gilbert-Elliott model this is the target *stationary* loss rate).
+    loss_model:
+        ``"bernoulli"`` draws each frame's fate independently;
+        ``"gilbert"`` runs a two-state Gilbert-Elliott channel per edge
+        (:class:`~repro.sim.transport.GilbertElliottConfig`), producing
+        correlated loss bursts at the same mean rate.
+    mean_burst_length:
+        Expected consecutive-loss run length of the Gilbert-Elliott
+        channel (``1.0`` is the memoryless limit, which reduces exactly
+        to the Bernoulli path).  Ignored under ``"bernoulli"``.
     bandwidth_headroom:
         Multiplier on each edge's reserved forwarding rate (one
         stream-bandwidth bin per child, the unit of
@@ -275,6 +285,8 @@ refresh_layers_from_observed`); ``None`` disables the feedback loop.
     """
 
     loss_rate: float = 0.0
+    loss_model: str = "bernoulli"
+    mean_burst_length: float = 1.0
     bandwidth_headroom: Optional[float] = 1.0
     transit_delay_scale: float = 0.0
     refresh_interval: Optional[float] = 5.0
@@ -285,6 +297,14 @@ refresh_layers_from_observed`); ``None`` disables the feedback loop.
     def __post_init__(self) -> None:
         if not (0.0 <= self.loss_rate < 1.0):
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.loss_model not in ("bernoulli", "gilbert"):
+            raise ValueError(
+                f"loss_model must be 'bernoulli' or 'gilbert', got {self.loss_model!r}"
+            )
+        if self.mean_burst_length < 1.0:
+            raise ValueError(
+                f"mean_burst_length must be >= 1, got {self.mean_burst_length}"
+            )
         if self.bandwidth_headroom is not None:
             require_positive(self.bandwidth_headroom, "bandwidth_headroom")
         require_non_negative(self.transit_delay_scale, "transit_delay_scale")
@@ -293,6 +313,14 @@ refresh_layers_from_observed`); ``None`` disables the feedback loop.
         require_positive(self.batch_quantum, "batch_quantum")
         if self.max_frames_per_stream is not None and self.max_frames_per_stream < 0:
             raise ValueError("max_frames_per_stream must be >= 0 or None")
+
+    def gilbert_config(self) -> Optional[GilbertElliottConfig]:
+        """The burst-loss channel parameters, or ``None`` under Bernoulli."""
+        if self.loss_model != "gilbert" or self.loss_rate <= 0.0:
+            return None
+        return GilbertElliottConfig.from_mean_loss(
+            self.loss_rate, self.mean_burst_length
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -325,6 +353,15 @@ class ViewerQoE:
     #: mid-replay; they count against ``continuity`` (losing a whole
     #: stream is a playout failure, not an excuse).
     frames_dropped: int = 0
+    #: Continuity after single-frame loss concealment: an isolated
+    #: missing frame whose two neighbours arrived on time is repairable
+    #: by interpolation, so only un-concealable gaps (runs of >= 2, or
+    #: gaps at a stream boundary) count against playback.  Linear in the
+    #: loss rate for bursty channels but quadratic for i.i.d. loss, this
+    #: is the metric that separates the two at matched mean loss.
+    playable_continuity: float = 1.0
+    #: Isolated losses repaired by concealment (both neighbours on time).
+    frames_concealed: int = 0
 
 
 @dataclass
@@ -359,6 +396,10 @@ class QoEReport:
     def continuities(self) -> List[float]:
         """Per-viewer playout continuity values."""
         return [qoe.continuity for qoe in self.per_viewer.values()]
+
+    def playable_continuities(self) -> List[float]:
+        """Per-viewer concealment-aware playout continuity values."""
+        return [qoe.playable_continuity for qoe in self.per_viewer.values()]
 
     def skews(self) -> List[float]:
         """Per-viewer raw gateway-arrival skews (viewers with >= 2 streams)."""
@@ -400,6 +441,9 @@ class _EdgeState:
         "lost",
         "late",
         "dropped",
+        "concealed",
+        "gap_len",
+        "prev_ok",
         "window_sum",
         "window_count",
         "callback",
@@ -420,9 +464,26 @@ class _EdgeState:
         self.lost = 0
         self.late = 0
         self.dropped = 0
+        # Single-frame concealment state: an unplayable frame opens a
+        # gap; the next on-time frame closes it, and a closed gap of
+        # exactly one frame bounded by on-time neighbours is concealed.
+        self.concealed = 0
+        self.gap_len = 0
+        self.prev_ok = False
         self.window_sum = 0.0
         self.window_count = 0
         self.callback = None
+
+    def frame_ok(self) -> None:
+        """Record one on-time delivery, closing (maybe concealing) a gap."""
+        if self.gap_len == 1 and self.prev_ok:
+            self.concealed += 1
+        self.gap_len = 0
+        self.prev_ok = True
+
+    def frame_unplayable(self) -> None:
+        """Record one lost, late or dropped frame (extends the gap)."""
+        self.gap_len += 1
 
 
 class SimulatedDataPlane:
@@ -468,7 +529,10 @@ class SimulatedDataPlane:
         cfg = self.config
         self._t0 = sim.now
         self._channel = DataChannel(
-            sim, loss_rate=cfg.loss_rate, rng=SeededRandom(cfg.seed)
+            sim,
+            loss_rate=cfg.loss_rate,
+            rng=SeededRandom(cfg.seed),
+            gilbert=cfg.gilbert_config(),
         )
         playback = PlaybackReport()
         self._report = QoEReport(
@@ -538,6 +602,7 @@ class SimulatedDataPlane:
             remaining = len(edge.frames) - edge.index
             edge.expected += remaining
             edge.dropped += remaining
+            edge.gap_len += remaining
             edge.index = len(edge.frames)
             return
         if cfg.refresh_interval is not None:
@@ -599,6 +664,11 @@ class SimulatedDataPlane:
                 edge.delivered += count
                 if delay > edge.deadline + 1e-9:
                     edge.late += count
+                    edge.gap_len += count
+                else:
+                    # Only the first frame of the batch can close a gap;
+                    # the rest are consecutive on-time deliveries.
+                    edge.frame_ok()
                 if edge.first_delivery is None:
                     edge.first_delivery = batch[0].capture_time + delay
                 edge.window_sum += count * delay
@@ -623,12 +693,16 @@ class SimulatedDataPlane:
                 delivered_abs = channel.transmit(message, link, path_delay=delay)
                 if delivered_abs is None:
                     edge.lost += 1
+                    edge.frame_unplayable()
                     continue
                 delivery_rel = delivered_abs - t0
                 edge.delivered += 1
                 observed = delivery_rel - frame.capture_time
                 if observed > edge.deadline + 1e-9:
                     edge.late += 1
+                    edge.frame_unplayable()
+                else:
+                    edge.frame_ok()
                 deliveries.append(
                     DeliveryRecord(
                         viewer_id=edge.viewer_id,
@@ -723,6 +797,7 @@ class SimulatedDataPlane:
             lost = sum(edge.lost for edge in edges)
             late = sum(edge.late for edge in edges)
             dropped = sum(edge.dropped for edge in edges)
+            concealed = sum(edge.concealed for edge in edges)
             report.frames_late += late
             report.frames_dropped += dropped
             firsts = [
@@ -730,6 +805,9 @@ class SimulatedDataPlane:
             ]
             startup = max(firsts) if firsts else None
             continuity = (delivered - late) / expected if expected else 1.0
+            playable = (
+                (delivered - late + concealed) / expected if expected else 1.0
+            )
             playout_point = max(edge.deadline for edge in edges) - edges[
                 0
             ].viewer.buffer_duration
@@ -746,5 +824,7 @@ class SimulatedDataPlane:
                 frames_lost=lost,
                 frames_late=late,
                 frames_dropped=dropped,
+                playable_continuity=playable,
+                frames_concealed=concealed,
             )
         return report

@@ -109,6 +109,10 @@ class FailureDetector:
         """Timestamp of the viewer's last heartbeat, ``None`` if untracked."""
         return self._last_seen.get(viewer_id)
 
+    def watched(self) -> List[str]:
+        """All currently tracked viewer ids (sorted, for invariant checks)."""
+        return sorted(self._last_seen)
+
     def expired(self, now: float) -> List[str]:
         """Viewers whose last heartbeat is older than the timeout."""
         return sorted(

@@ -65,6 +65,7 @@ EVENT_DISPATCH: Dict[str, str] = {
     "view_change": "handle_view_change",
     "depart": "handle_depart",
     "fail": "handle_fail",
+    "lsc_fail": "handle_lsc_fail",
 }
 
 def event_sort_key(event: ViewerEvent):
@@ -186,6 +187,16 @@ class InstantDriver(_DriverBase):
         self.system.fail_viewer(event.viewer_id, event.time)
         self._timed("churn", started)
 
+    def handle_lsc_fail(self, event: ViewerEvent) -> None:
+        # ``viewer_id`` carries the LSC node id.  A second crash of an
+        # already-failed controller is a no-op, not an error.
+        system = self.system
+        if not system.gsc.has_lsc(event.viewer_id):
+            return
+        started = self._started()
+        system.fail_lsc(event.viewer_id, event.time)
+        self._timed("churn", started)
+
 
 class EventDrivenSession(_DriverBase):
     """Drive a workload through simulated control messages with latency.
@@ -234,6 +245,12 @@ class EventDrivenSession(_DriverBase):
         self._heartbeat_ticks: Dict[str, object] = {}
         self._staged_acks: Dict[str, object] = {}
         self._sweeper: Optional[PeriodicProcess] = None
+        # Oscillation support: departure notices still in flight, and the
+        # rejoin requests that arrived before them (deferred, not dropped,
+        # so a leave->rejoin racing its own DepartNotice applies the join
+        # exactly once -- after the departure lands).
+        self._pending_departs: Dict[str, int] = {}
+        self._deferred_joins: Dict[str, ControlMessage] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -340,6 +357,9 @@ class EventDrivenSession(_DriverBase):
             sent_at=self._now,
             viewer_id=viewer.viewer_id,
         )
+        self._pending_departs[event.viewer_id] = (
+            self._pending_departs.get(event.viewer_id, 0) + 1
+        )
         self.channel.send(message, self._deliver_depart)
 
     def handle_fail(self, event: ViewerEvent) -> None:
@@ -354,13 +374,43 @@ class EventDrivenSession(_DriverBase):
             sent_at=self._now,
             viewer_id=viewer.viewer_id,
         )
+        self._pending_departs[event.viewer_id] = (
+            self._pending_departs.get(event.viewer_id, 0) + 1
+        )
         self.channel.send(message, self._deliver_failure_notice)
+
+    def handle_lsc_fail(self, event: ViewerEvent) -> None:
+        """A controller crash is local, not a message: it applies at once.
+
+        Viewers the failover could not migrate are torn down with their
+        controller, so their heartbeat timers die here too (their ticks
+        would self-cancel on the next period, but a crashed region should
+        not emit one more round of traffic first).
+        """
+        system = self.system
+        if not system.gsc.has_lsc(event.viewer_id):
+            return
+        affected = list(system.gsc.lsc(event.viewer_id).sessions)
+        started = self._started()
+        system.fail_lsc(event.viewer_id, self._now)
+        self._timed("churn", started)
+        for viewer_id in affected:
+            if system.gsc.lsc_of_connected_viewer(viewer_id) is None:
+                self._stop_heartbeats(viewer_id)
 
     # -- message deliveries (controller side) -----------------------------------
 
     def _deliver_join_request(self, message: ControlMessage) -> None:
         system = self.system
         if system.gsc.lsc_of_connected_viewer(message.viewer_id) is not None:
+            if self._pending_departs.get(message.viewer_id):
+                # The rejoin outran the viewer's own departure notice.
+                # Dropping it would silently lose the rejoin; applying it
+                # now would admit a viewer that is already connected
+                # (double-counting the acceptance).  Defer it until the
+                # departure lands; the latest rejoin wins.
+                self._deferred_joins[message.viewer_id] = message
+                return
             self._stale()  # duplicate join delivered late (e.g. churn rejoin)
             return
         started = self._started()
@@ -441,6 +491,7 @@ class EventDrivenSession(_DriverBase):
         self._timed("churn", started)
         if not result.departed:
             self._stale()
+        self._departure_landed(message.viewer_id)
 
     def _deliver_failure_notice(self, message: ControlMessage) -> None:
         started = self._started()
@@ -448,8 +499,26 @@ class EventDrivenSession(_DriverBase):
         self._timed("churn", started)
         if not result.departed:
             self._stale()  # already repaired (e.g. a sweep won the race)
+            self._departure_landed(message.viewer_id)
             return
         self._notify_repairs(result, self._now)
+        self._departure_landed(message.viewer_id)
+
+    def _departure_landed(self, viewer_id: str) -> None:
+        """Account one delivered departure notice; release a deferred rejoin.
+
+        The deferred join request is re-delivered only once the *last*
+        in-flight departure of the viewer has landed, so an oscillating
+        viewer is admitted exactly once per applied rejoin.
+        """
+        pending = self._pending_departs.get(viewer_id, 0)
+        if pending > 1:
+            self._pending_departs[viewer_id] = pending - 1
+            return
+        self._pending_departs.pop(viewer_id, None)
+        deferred = self._deferred_joins.pop(viewer_id, None)
+        if deferred is not None:
+            self._deliver_join_request(deferred)
 
     def _deliver_repair_notify(self, message: ControlMessage) -> None:
         self.system.metrics.record_observed_repair(self._now - message.sent_at)

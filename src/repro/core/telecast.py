@@ -255,6 +255,15 @@ class TeleCastSystem:
         if manager is not None and viewer_id in manager.detector:
             manager.detector.heartbeat(viewer_id, now)
 
+    def recovery_managers(self) -> Dict[str, RecoveryManager]:
+        """Per-LSC recovery managers, keyed by LSC id (read-only view).
+
+        Exposed for post-hoc invariant checks (``repro.scenarios``): a
+        failure detector must never keep watching a viewer its LSC no
+        longer serves, and vice versa.
+        """
+        return dict(self._recovery)
+
     def detect_failures(self, now: Optional[float] = None) -> List[RepairResult]:
         """Sweep every LSC's failure detector and repair timed-out viewers."""
         time = self.simulator.now if now is None else now

@@ -12,6 +12,9 @@ Examples::
     python -m repro.experiments sweep smoke --jobs 2
     python -m repro.experiments sweep scale10k --jobs 3
     python -m repro.experiments sweep --preset controlplane --jobs 2
+    python -m repro.experiments scenario --list
+    python -m repro.experiments scenario outage --smoke
+    python -m repro.experiments scenario flash-crowd --viewers 2000 --seed 42
     python -m repro.experiments compare results/smoke.jsonl \\
         --baseline results/baseline_smoke.jsonl
 
@@ -20,8 +23,10 @@ figures can be regenerated (e.g. at a different scale) without going
 through pytest.  ``run`` executes one scenario end to end (with
 ``--profile`` printing the per-phase wall-clock breakdown); ``sweep``
 runs a named parameter sweep process-parallel and appends one JSONL
-record per point under ``results/``; ``compare`` diffs two results
-files and exits non-zero on regression.
+record per point under ``results/``; ``scenario`` runs one adversarial
+preset and gates it on its declared invariants (exit non-zero on any
+violation); ``compare`` diffs two results files and exits non-zero on
+regression.
 """
 
 from __future__ import annotations
@@ -397,6 +402,96 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``scenario`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments scenario",
+        description="Run one adversarial scenario preset and gate it on "
+        "its declared invariants (exit 1 on any violation).",
+    )
+    parser.add_argument("name", nargs="?", help="scenario name, e.g. outage")
+    parser.add_argument(
+        "--viewers",
+        type=int,
+        default=None,
+        help="population override (default: the preset's full scale)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="re-derive every RNG seed from this value (world, workload "
+        "and outage victims vary together)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at the preset's smoke scale (CI population)",
+    )
+    parser.add_argument(
+        "--results",
+        default="results",
+        help="directory for the JSONL record (default: results/)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", help="run without persisting a record"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the available scenarios and exit"
+    )
+    return parser
+
+
+def _scenario_main(argv: List[str]) -> int:
+    parser = build_scenario_parser()
+    args = parser.parse_args(argv)
+    from repro.scenarios import SCENARIOS, run_record, run_scenario
+
+    if args.list or not args.name:
+        for name, spec in sorted(SCENARIOS.items()):
+            print(f"  {name}: {spec.title}")
+            print(
+                f"      {spec.default_viewers} viewers "
+                f"(smoke: {spec.smoke_viewers}); "
+                f"invariants: {', '.join(spec.invariants)}"
+            )
+        return 0
+    if args.name not in SCENARIOS:
+        parser.error(f"unknown scenario {args.name!r}; use --list to see the options")
+    if args.viewers is not None and args.viewers <= 0:
+        parser.error("--viewers must be > 0")
+    import time as _time
+
+    started = _time.perf_counter()
+    run = run_scenario(args.name, viewers=args.viewers, seed=args.seed, smoke=args.smoke)
+    elapsed = _time.perf_counter() - started
+    snapshot = run.system.snapshot()
+    print(
+        f"scenario {run.spec.name}: {run.config.num_viewers} viewers, "
+        f"{snapshot.num_viewers} connected, "
+        f"acceptance={run.summary['acceptance_ratio']:.4f}, "
+        f"{elapsed:.2f}s wall clock"
+    )
+    for invariant in run.spec.invariants:
+        messages = run.violations.get(invariant, [])
+        print(f"  [{'FAIL' if messages else 'PASS'}] {invariant}")
+        for message in messages[:5]:
+            print(f"         {message}")
+        if len(messages) > 5:
+            print(f"         ... and {len(messages) - 5} more")
+    if not args.no_store:
+        store = ResultsStore(args.results)
+        path = store.append(run_record(run, wall_clock_s=elapsed))
+        print(f"  record appended to {path}")
+    verdict = "PASS" if run.passed else "FAIL"
+    print(
+        f"verdict: {verdict} "
+        f"({len(run.spec.invariants) - len(run.violations)}"
+        f"/{len(run.spec.invariants)} invariants hold)"
+    )
+    return 0 if run.passed else 1
+
+
 def build_compare_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``compare`` subcommand (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -441,6 +536,11 @@ _SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
         "--viewers": "fixed-scale QoE grid",
         "--step": "no population axis",
         "--lscs": "fixed-scale QoE grid",
+    },
+    "scenarios": {
+        "--viewers": "each preset pins its own smoke scale",
+        "--step": "no population axis",
+        "--lscs": "each preset pins its own control-plane layout",
     },
 }
 
@@ -550,6 +650,8 @@ def main(argv=None) -> int:
         return _run_main(arguments[1:])
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
+    if arguments and arguments[0] == "scenario":
+        return _scenario_main(arguments[1:])
     if arguments and arguments[0] == "compare":
         return _compare_main(arguments[1:])
     parser = build_parser()
@@ -559,6 +661,8 @@ def main(argv=None) -> int:
             print(f"  {figure_id}: {description}")
         print("  run: run one scenario end to end (--profile for phase timings)")
         print("  sweep: run a named parameter sweep (see `sweep --list`)")
+        print("  scenario: run an invariant-gated adversarial preset "
+              "(see `scenario --list`)")
         print("  compare: diff two sweep results files")
         return 0
     figure_id = args.figure.lower().lstrip("fig").lstrip(".")

@@ -28,7 +28,12 @@ from typing import List, Optional, Tuple
 from repro.core.dataplane import DataPlaneConfig
 from repro.core.layering import DelayLayerConfig
 from repro.core.recovery import DEFAULT_HEARTBEAT_PERIOD
-from repro.traces.workload import BandwidthDistribution, ChurnConfig
+from repro.traces.workload import (
+    BandwidthDistribution,
+    ChurnConfig,
+    OscillationConfig,
+    OutageConfig,
+)
 from repro.util.validation import require_non_negative, require_positive
 
 
@@ -76,6 +81,12 @@ class ExperimentConfig:
     #: Churn overlay (Poisson failures, mass-leave, flash-crowd mix);
     #: ``None`` keeps the schedule free of abrupt departures.
     churn: Optional[ChurnConfig] = None
+    #: Correlated regional outage: one LSC crashes together with a
+    #: fraction of its viewers in a single event (``None`` disables).
+    outage: Optional[OutageConfig] = None
+    #: Join/leave oscillation overlay targeted at scarce P2P slots
+    #: (``None`` disables).
+    oscillation: Optional[OscillationConfig] = None
     #: Heartbeat timeout of the per-LSC failure detectors.
     heartbeat_timeout: float = 10.0
 
@@ -106,8 +117,15 @@ class ExperimentConfig:
     #: the built overlay as event-driven data messages with per-edge
     #: bandwidth serialization, loss and QoE playout accounting.
     data_plane: str = "off"
-    #: Per-frame, per-edge loss probability of the simulated data plane.
+    #: Per-frame, per-edge loss probability of the simulated data plane
+    #: (the stationary rate under the Gilbert-Elliott model).
     data_loss_rate: float = 0.0
+    #: Loss process per edge: ``"bernoulli"`` (i.i.d.) or ``"gilbert"``
+    #: (two-state bursty channel at the same mean rate).
+    data_loss_model: str = "bernoulli"
+    #: Expected consecutive-loss run length of the Gilbert-Elliott
+    #: channel; ``1.0`` is the memoryless limit (identical to Bernoulli).
+    data_mean_burst_length: float = 1.0
     #: Multiplier on each edge's reserved forwarding rate (``None``
     #: removes the bandwidth model: zero serialization delay).
     data_bandwidth_headroom: Optional[float] = 1.0
@@ -156,6 +174,16 @@ class ExperimentConfig:
             raise ValueError(
                 f"data_loss_rate must be in [0, 1), got {self.data_loss_rate}"
             )
+        if self.data_loss_model not in ("bernoulli", "gilbert"):
+            raise ValueError(
+                f"data_loss_model must be 'bernoulli' or 'gilbert', "
+                f"got {self.data_loss_model!r}"
+            )
+        if self.data_mean_burst_length < 1.0:
+            raise ValueError(
+                f"data_mean_burst_length must be >= 1, "
+                f"got {self.data_mean_burst_length}"
+            )
         if self.data_bandwidth_headroom is not None:
             require_positive(self.data_bandwidth_headroom, "data_bandwidth_headroom")
         require_non_negative(self.data_transit_delay_scale, "data_transit_delay_scale")
@@ -192,6 +220,8 @@ class ExperimentConfig:
             return None
         return DataPlaneConfig(
             loss_rate=self.data_loss_rate,
+            loss_model=self.data_loss_model,
+            mean_burst_length=self.data_mean_burst_length,
             bandwidth_headroom=self.data_bandwidth_headroom,
             transit_delay_scale=self.data_transit_delay_scale,
             refresh_interval=self.data_refresh_interval,

@@ -37,7 +37,15 @@ from repro.net.planetlab import (
 )
 from repro.net.regions import shard_regions
 from repro.sim.rng import SeededRandom
-from repro.traces.workload import ChurnWorkload, ViewerEvent, ViewerWorkload, WorkloadConfig
+from repro.traces.workload import (
+    ChurnWorkload,
+    OutageConfig,
+    ViewerEvent,
+    ViewerWorkload,
+    WorkloadConfig,
+    alive_before,
+    overlay_oscillation,
+)
 
 
 @dataclass
@@ -109,7 +117,47 @@ def _build_workload(config: ExperimentConfig):
     if config.churn is not None:
         churn = ChurnWorkload(config.churn, rng=SeededRandom(config.churn_seed))
         events = churn.events(events)
+    if config.oscillation is not None:
+        events = overlay_oscillation(events, config.oscillation)
     return viewers, events
+
+
+def _inject_outage(
+    events: List[ViewerEvent],
+    viewers: Sequence[Viewer],
+    lsc_regions: Tuple[Tuple[str, ...], ...],
+    outage: OutageConfig,
+) -> List[ViewerEvent]:
+    """Overlay one correlated regional outage on the schedule.
+
+    Emits a single ``lsc_fail`` event for the configured LSC plus abrupt
+    ``fail`` events for a sampled fraction of the viewers connected in
+    that LSC's regions at the outage instant.  Runs after viewers are
+    stamped with their region labels (it needs the region -> LSC map).
+    """
+    lsc_index = outage.lsc_index % len(lsc_regions)
+    region_set = set(lsc_regions[lsc_index])
+    region_of = {viewer.viewer_id: viewer.region_name for viewer in viewers}
+    alive = alive_before(events, outage.time)
+    candidates = sorted(
+        viewer_id for viewer_id in alive if region_of.get(viewer_id) in region_set
+    )
+    count = int(round(outage.viewer_fraction * len(candidates)))
+    rng = SeededRandom(outage.seed)
+    victims = sorted(rng.sample(candidates, min(count, len(candidates))))
+    injected = [
+        ViewerEvent(time=outage.time, kind="lsc_fail", viewer_id=f"LSC-{lsc_index}")
+    ]
+    injected.extend(
+        ViewerEvent(time=outage.time, kind="fail", viewer_id=victim)
+        for victim in victims
+    )
+    merged = list(events) + injected
+    # Stable sort: base events keep causal order, and at the outage
+    # instant the controller crash precedes its viewers' failures (the
+    # drivers' (time, id) sort also puts "LSC-*" before "viewer-*").
+    merged.sort(key=lambda event: event.time)
+    return merged
 
 
 def _region_names_for(config: ExperimentConfig) -> Sequence[str]:
@@ -154,6 +202,8 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     for viewer in viewers:
         viewer.region_name = matrix.regions.region_of(viewer.viewer_id).name
     lsc_regions = shard_regions(region_names, config.num_lscs)
+    if config.outage is not None:
+        events = _inject_outage(events, viewers, lsc_regions, config.outage)
     delay_model = DelayModel(
         matrix,
         processing_delay=config.processing_delay,

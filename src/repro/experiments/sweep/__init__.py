@@ -39,6 +39,7 @@ from repro.experiments.sweep.presets import (
     named_sweeps,
     scale10k_sweep,
     scale_sweep,
+    scenarios_sweep,
     shard_sweep,
     smoke_sweep,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "run_sweep",
     "scale10k_sweep",
     "scale_sweep",
+    "scenarios_sweep",
     "shard_sweep",
     "smoke_sweep",
 ]

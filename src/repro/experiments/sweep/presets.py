@@ -220,6 +220,40 @@ def qoe_sweep(
     )
 
 
+def scenarios_sweep(base: ExperimentConfig = PAPER_CONFIG) -> SweepSpec:
+    """Every adversarial scenario preset at smoke scale, one point each.
+
+    Each point reproduces exactly the config of
+    ``python -m repro.experiments scenario <name> --smoke``, expressed as
+    the field-by-field diff against the paper defaults so the stored
+    params name every hostile knob (outage, oscillation, Gilbert-Elliott
+    loss, flapping heartbeat...).  Seeds are part of the preset identity,
+    hence ``derive_seeds=False``; the invariant *gate* runs through the
+    ``scenario`` CLI / the pytest harness, while this family provides the
+    comparable JSONL metrics trail.
+    """
+    import dataclasses
+
+    from repro.scenarios.presets import SCENARIOS
+
+    points = []
+    for spec in SCENARIOS.values():
+        config = spec.config(smoke=True)
+        points.append(
+            {
+                name.name: getattr(config, name.name)
+                for name in dataclasses.fields(ExperimentConfig)
+                if getattr(config, name.name) != getattr(base, name.name)
+            }
+        )
+    return SweepSpec(
+        name="scenarios",
+        base=base,
+        points=points,
+        derive_seeds=False,
+    )
+
+
 def named_sweeps(
     *,
     viewers: int = 400,
@@ -235,4 +269,5 @@ def named_sweeps(
         "shards": shard_sweep(viewers=viewers),
         "controlplane": controlplane_sweep(),
         "qoe": qoe_sweep(),
+        "scenarios": scenarios_sweep(),
     }

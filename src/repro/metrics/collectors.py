@@ -104,6 +104,7 @@ class SessionMetrics:
     #: the frame replay did not run (instant summaries stay golden).
     qoe_startup_delays: List[float] = field(default_factory=list)
     qoe_continuities: List[float] = field(default_factory=list)
+    qoe_playable_continuities: List[float] = field(default_factory=list)
     qoe_skews: List[float] = field(default_factory=list)
     qoe_playout_skews: List[float] = field(default_factory=list)
     qoe_dbuff: float = 0.0
@@ -199,6 +200,7 @@ class SessionMetrics:
         """
         self.qoe_startup_delays.extend(report.startup_delays())
         self.qoe_continuities.extend(report.continuities())
+        self.qoe_playable_continuities.extend(report.playable_continuities())
         self.qoe_skews.extend(report.skews())
         self.qoe_playout_skews.extend(report.playout_skews())
         self.qoe_dbuff = report.d_buff
@@ -332,6 +334,10 @@ class SessionMetrics:
             summary["qoe_continuity_mean"] = sum(self.qoe_continuities) / len(
                 self.qoe_continuities
             )
+        if self.qoe_playable_continuities:
+            summary["qoe_playable_continuity_mean"] = sum(
+                self.qoe_playable_continuities
+            ) / len(self.qoe_playable_continuities)
         if self.qoe_skews:
             summary["qoe_skew_p50"] = percentile(self.qoe_skews, 50.0)
             summary["qoe_skew_p99"] = percentile(self.qoe_skews, 99.0)

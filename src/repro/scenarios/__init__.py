@@ -1,0 +1,23 @@
+"""Adversarial scenario library with post-hoc invariant gates.
+
+Curated hostile-workload presets (flash crowds, correlated regional
+outages, bursty Gilbert-Elliott loss, heartbeat flapping, P2P-slot
+oscillation) plus the named invariants every run is checked against.
+See :mod:`repro.scenarios.presets` for the preset table and
+:mod:`repro.scenarios.invariants` for the invariant catalog.
+"""
+
+from repro.scenarios.invariants import INVARIANTS, check_invariants
+from repro.scenarios.presets import SCENARIOS, ScenarioSpec
+from repro.scenarios.runner import ScenarioRun, resolve_spec, run_record, run_scenario
+
+__all__ = [
+    "INVARIANTS",
+    "SCENARIOS",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "check_invariants",
+    "resolve_spec",
+    "run_record",
+    "run_scenario",
+]

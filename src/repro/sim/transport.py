@@ -204,6 +204,137 @@ class ControlChannel:
         )
 
 
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state (good/bad) Markov loss channel parameters.
+
+    In the GOOD state a frame is lost exactly when the channel flips to
+    BAD for that frame (probability ``p_good_to_bad``); in the BAD state
+    every frame is lost until the channel recovers (each frame recovers
+    with probability ``p_bad_to_good`` *before* its loss decision).  The
+    stationary loss rate is ``a / (a + b - a*b)`` with ``a`` the flip and
+    ``b`` the recovery probability, and the mean burst length is ``1/b``.
+
+    Deterministic transitions (probability 0 or 1) consume no RNG draws,
+    so the memoryless limit ``p_bad_to_good=1.0`` spends exactly one
+    uniform draw per frame -- the same stream of draws the Bernoulli path
+    makes, which keeps the two byte-identical on the same seed.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p_good_to_bad < 1.0):
+            raise ValueError(
+                f"p_good_to_bad must be in [0, 1), got {self.p_good_to_bad}"
+            )
+        if not (0.0 < self.p_bad_to_good <= 1.0):
+            raise ValueError(
+                f"p_bad_to_good must be in (0, 1], got {self.p_bad_to_good}"
+            )
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Stationary fraction of frames lost."""
+        a, b = self.p_good_to_bad, self.p_bad_to_good
+        return a / (a + b - a * b)
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected number of consecutive losses once a burst starts."""
+        return 1.0 / self.p_bad_to_good
+
+    @classmethod
+    def from_mean_loss(
+        cls, mean_loss_rate: float, mean_burst_length: float = 1.0
+    ) -> "GilbertElliottConfig":
+        """Parameters hitting a target stationary loss rate and burst length.
+
+        Inverts the stationary equation: ``b = 1/L`` and
+        ``a = l*b / (1 - l*(1 - b))``.  ``mean_burst_length=1.0`` is the
+        memoryless limit (``p_bad_to_good=1.0``), which reduces exactly
+        to Bernoulli loss at ``mean_loss_rate``.
+        """
+        if not (0.0 <= mean_loss_rate < 1.0):
+            raise ValueError(
+                f"mean_loss_rate must be in [0, 1), got {mean_loss_rate}"
+            )
+        if mean_burst_length < 1.0:
+            raise ValueError(
+                f"mean_burst_length must be >= 1, got {mean_burst_length}"
+            )
+        b = 1.0 / mean_burst_length
+        a = mean_loss_rate * b / (1.0 - mean_loss_rate * (1.0 - b))
+        return cls(p_good_to_bad=a, p_bad_to_good=b)
+
+
+class BernoulliLoss:
+    """Independent per-frame loss: each frame lost with fixed probability."""
+
+    __slots__ = ("loss_rate",)
+
+    def __init__(self, loss_rate: float) -> None:
+        if not (0.0 < loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in (0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+
+    def lose(self, rng: SeededRandom) -> bool:
+        """Decide the fate of one frame (one uniform draw)."""
+        return rng.random() < self.loss_rate
+
+
+class GilbertElliottLoss:
+    """Stateful burst-loss channel following :class:`GilbertElliottConfig`.
+
+    One instance per link: the good/bad state persists across the frames
+    of that edge, producing correlated loss runs instead of i.i.d. drops.
+    """
+
+    __slots__ = ("config", "bad")
+
+    def __init__(self, config: GilbertElliottConfig) -> None:
+        self.config = config
+        self.bad = False
+
+    def lose(self, rng: SeededRandom) -> bool:
+        """Advance the channel one frame and decide that frame's fate.
+
+        Probability-one and probability-zero transitions are applied
+        without drawing from the RNG -- see
+        :class:`GilbertElliottConfig` for why that matters.
+        """
+        cfg = self.config
+        if self.bad:
+            if cfg.p_bad_to_good >= 1.0:
+                self.bad = False
+            elif rng.random() >= cfg.p_bad_to_good:
+                return True
+            else:
+                self.bad = False
+        if cfg.p_good_to_bad <= 0.0:
+            return False
+        if rng.random() < cfg.p_good_to_bad:
+            self.bad = True
+            return True
+        return False
+
+
+#: A per-link loss process: ``lose(rng) -> bool`` consumed frame by frame.
+LossProcess = Any
+
+
+def make_loss_process(
+    loss_rate: float, gilbert: Optional[GilbertElliottConfig]
+) -> Optional[LossProcess]:
+    """Build one link's loss process, or ``None`` for a lossless link."""
+    if gilbert is not None:
+        return GilbertElliottLoss(gilbert)
+    if loss_rate > 0.0:
+        return BernoulliLoss(loss_rate)
+    return None
+
+
 @dataclass(frozen=True, slots=True, kw_only=True)
 class DataMessage:
     """One 3D frame travelling over one overlay edge.
@@ -233,21 +364,19 @@ class DataLink:
     (``None`` models an unconstrained link: zero serialization delay).
     """
 
-    __slots__ = ("rate_mbps", "free_at", "_rng", "loss_rate")
+    __slots__ = ("rate_mbps", "free_at", "_rng", "loss")
 
     def __init__(
         self,
         rate_mbps: Optional[float],
         *,
-        loss_rate: float = 0.0,
+        loss: Optional[LossProcess] = None,
         rng: Optional[SeededRandom] = None,
     ) -> None:
         if rate_mbps is not None and rate_mbps <= 0:
             raise ValueError(f"rate_mbps must be > 0 or None, got {rate_mbps}")
-        if not (0.0 <= loss_rate < 1.0):
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.rate_mbps = rate_mbps
-        self.loss_rate = loss_rate
+        self.loss = loss
         self.free_at = 0.0
         self._rng = rng
 
@@ -266,8 +395,8 @@ class DataLink:
         else:
             transmission = message.size_megabits / self.rate_mbps
         self.free_at = start + transmission
-        if self.loss_rate > 0.0 and self._rng is not None:
-            if self._rng.random() < self.loss_rate:
+        if self.loss is not None and self._rng is not None:
+            if self.loss.lose(self._rng):
                 return None
         return self.free_at + path_delay
 
@@ -289,16 +418,23 @@ class DataChannel:
         *,
         loss_rate: float = 0.0,
         rng: Optional[SeededRandom] = None,
+        gilbert: Optional[GilbertElliottConfig] = None,
     ) -> None:
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.simulator = simulator
         self.loss_rate = loss_rate
+        self.gilbert = gilbert
         self._rng = rng or SeededRandom(0)
         self._links: Dict[Tuple[str, str, Any], DataLink] = {}
         self.sent = 0
         self.delivered = 0
         self.lost = 0
+
+    @property
+    def lossy(self) -> bool:
+        """Whether this channel's links drop frames at all."""
+        return self.gilbert is not None or self.loss_rate > 0.0
 
     def link(
         self, src: str, dst: str, stream_id: Any, rate_mbps: Optional[float]
@@ -308,10 +444,11 @@ class DataChannel:
         existing = self._links.get(key)
         if existing is not None:
             return existing
+        lossy = self.lossy
         created = DataLink(
             rate_mbps,
-            loss_rate=self.loss_rate,
-            rng=self._rng.fork(len(self._links)) if self.loss_rate > 0.0 else None,
+            loss=make_loss_process(self.loss_rate, self.gilbert) if lossy else None,
+            rng=self._rng.fork(len(self._links)) if lossy else None,
         )
         self._links[key] = created
         return created

@@ -71,10 +71,11 @@ class ViewerEvent:
     """A scheduled workload event.
 
     ``kind`` is one of ``"join"``, ``"view_change"``, ``"depart"``
-    (graceful leave) or ``"fail"`` (abrupt departure that strands the
-    viewer's subtrees and exercises the recovery subsystem).
-    ``view_index`` selects which of the experiment's candidate views the
-    viewer requests (for joins and view changes).
+    (graceful leave), ``"fail"`` (abrupt departure that strands the
+    viewer's subtrees and exercises the recovery subsystem) or
+    ``"lsc_fail"`` (a whole-controller crash; ``viewer_id`` carries the
+    LSC node id).  ``view_index`` selects which of the experiment's
+    candidate views the viewer requests (for joins and view changes).
     """
 
     time: float
@@ -84,7 +85,7 @@ class ViewerEvent:
 
     def __post_init__(self) -> None:
         require_non_negative(self.time, "time")
-        if self.kind not in ("join", "view_change", "depart", "fail"):
+        if self.kind not in ("join", "view_change", "depart", "fail", "lsc_fail"):
             raise ValueError(f"unknown event kind {self.kind!r}")
 
 
@@ -332,6 +333,136 @@ class ChurnConfig:
     def horizon(self) -> float:
         """Last instant at which churn events may be generated."""
         return self.start_time + self.duration
+
+
+@dataclass(frozen=True)
+class OutageConfig:
+    """A correlated regional outage: one LSC crashes together with a
+    fraction of the viewers it was serving, in a single event.
+
+    This is the failure mode a per-viewer churn process cannot express:
+    the controller *and* a correlated slice of its region disappear at
+    the same instant, so the survivors must be failed over to another
+    LSC while the failed viewers' subtrees are repaired.  The scenario
+    builder resolves ``lsc_index`` to a concrete LSC id and samples the
+    co-failing viewers from that LSC's region.
+    """
+
+    time: float = 10.0
+    lsc_index: int = 0
+    viewer_fraction: float = 0.5
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.time, "time")
+        if self.lsc_index < 0:
+            raise ValueError("lsc_index must be >= 0")
+        if not (0.0 <= self.viewer_fraction <= 1.0):
+            raise ValueError("viewer_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class OscillationConfig:
+    """Join/leave oscillation: a few viewers repeatedly leave and rejoin.
+
+    Aimed at the last free P2P slot: with scarce outbound capacity the
+    oscillators' slots are re-contended on every cycle, and under the
+    simulated control plane a rejoin's ``JoinRequest`` races the
+    previous cycle's ``DepartNotice`` (or ``FailureNotice``) for the
+    same viewer -- the duplicate-join race surface.
+
+    Each oscillator runs ``cycles`` leave/rejoin cycles of length
+    ``period`` starting at ``start_time``; oscillators are staggered by
+    ``period / (2 * num_oscillators)`` so their messages interleave.
+    """
+
+    start_time: float = 10.0
+    period: float = 1.0
+    cycles: int = 8
+    num_oscillators: int = 2
+    graceful: bool = True
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.start_time, "start_time")
+        require_positive(self.period, "period")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be > 0")
+        if self.num_oscillators <= 0:
+            raise ValueError("num_oscillators must be > 0")
+
+    @property
+    def horizon(self) -> float:
+        """Last instant at which oscillation events are generated."""
+        return self.start_time + self.cycles * self.period
+
+
+def alive_before(events: Sequence[ViewerEvent], time: float) -> dict:
+    """Viewers connected strictly before ``time``, with their view index.
+
+    Replays the causal-order schedule, honouring joins, departures,
+    failures and view changes; used by overlay generators that must only
+    target viewers actually in the session at injection time.
+    """
+    alive: dict = {}
+    view_of: dict = {}
+    for event in events:
+        if event.time >= time:
+            break
+        if event.kind == "join":
+            view_of[event.viewer_id] = event.view_index
+            alive[event.viewer_id] = event.view_index
+        elif event.kind == "view_change":
+            view_of[event.viewer_id] = event.view_index
+            if event.viewer_id in alive:
+                alive[event.viewer_id] = event.view_index
+        elif event.kind in ("depart", "fail"):
+            alive.pop(event.viewer_id, None)
+    return alive
+
+
+def overlay_oscillation(
+    base_events: Sequence[ViewerEvent], config: OscillationConfig
+) -> List[ViewerEvent]:
+    """Overlay leave/rejoin oscillation cycles on a base schedule.
+
+    The oscillators are the lexicographically last ``num_oscillators``
+    viewers connected when the oscillation starts (deterministic, no
+    RNG).  Their remaining base events are dropped -- the oscillation
+    owns their timeline from ``start_time`` on -- and every rejoin
+    requests the view the viewer was watching.  The result is in causal
+    order (stable time sort; per-viewer cycles are strictly ordered).
+    """
+    alive = alive_before(base_events, config.start_time)
+    oscillators = sorted(alive)[-config.num_oscillators :]
+    chosen = set(oscillators)
+    if not chosen:
+        return list(base_events)
+    kept = [
+        event
+        for event in base_events
+        if event.viewer_id not in chosen or event.time < config.start_time
+    ]
+    stagger = config.period / (2.0 * config.num_oscillators)
+    kind = "depart" if config.graceful else "fail"
+    injected: List[ViewerEvent] = []
+    for position, viewer_id in enumerate(oscillators):
+        view_index = alive[viewer_id]
+        for cycle in range(config.cycles):
+            leave_at = config.start_time + cycle * config.period + position * stagger
+            injected.append(
+                ViewerEvent(time=leave_at, kind=kind, viewer_id=viewer_id)
+            )
+            injected.append(
+                ViewerEvent(
+                    time=leave_at + config.period / 2.0,
+                    kind="join",
+                    viewer_id=viewer_id,
+                    view_index=view_index,
+                )
+            )
+    merged = kept + sorted(injected, key=lambda event: event.time)
+    merged.sort(key=lambda event: event.time)
+    return merged
 
 
 class ChurnWorkload:

@@ -19,6 +19,11 @@ from repro.model.producer import make_default_producers
 from repro.model.viewer import Viewer
 from repro.net.latency import DelayModel, LatencyMatrix
 from repro.net.planetlab import generate_planetlab_matrix
+from repro.scenarios.invariants import (
+    dangling_reference_violations,
+    layer_bound_violations,
+    routing_tree_mismatches,
+)
 from repro.sim.rng import SeededRandom
 from repro.traces.workload import ChurnConfig
 
@@ -131,48 +136,26 @@ def join_all_scenario(system, scenario):
 
 
 def assert_no_dangling_references(system, gone_viewer_ids):
-    """No session, tree or routing table may still reference departed viewers."""
-    gone = set(gone_viewer_ids)
-    for lsc in system.gsc.lscs:
-        assert not gone & set(lsc.sessions)
-        for group in lsc.groups.values():
-            assert not gone & set(group.sessions)
-            for tree in group.trees.values():
-                tree.validate()
-                assert not gone & set(tree.members())
-            for session in group.sessions.values():
-                for entry in session.routing_table.entries():
-                    assert entry.match.parent_id not in gone
-                    assert not gone & set(entry.children)
-                for sub in session.subscriptions.values():
-                    assert sub.parent_id not in gone
+    """No session, tree or routing table may still reference departed viewers.
+
+    Delegates to the granular finder the scenario invariant gate uses
+    (:mod:`repro.scenarios.invariants`), so the test suite and the
+    ``scenario`` CLI can never drift apart on what "dangling" means.
+    """
+    violations = dangling_reference_violations(system, set(gone_viewer_ids))
+    assert not violations, "\n".join(violations)
 
 
 def assert_routing_matches_trees(system):
     """Every tree edge must be mirrored by forwarding state at the parent."""
-    for lsc in system.gsc.lscs:
-        for group in lsc.groups.values():
-            for stream_id, tree in group.trees.items():
-                for viewer_id in tree.members():
-                    session = lsc.sessions.get(viewer_id)
-                    assert session is not None
-                    tree_children = set(tree.node(viewer_id).children)
-                    table_children = set(session.routing_table.children_of(stream_id))
-                    assert tree_children == table_children, (
-                        f"{viewer_id}/{stream_id}: tree children {tree_children} "
-                        f"!= routing children {table_children}"
-                    )
+    mismatches = routing_tree_mismatches(system)
+    assert not mismatches, "\n".join(mismatches)
 
 
 def assert_layer_invariants(system):
     """Every connected viewer keeps the delay-layer invariants."""
-    config = system.layer_config
-    for lsc in system.gsc.lscs:
-        for session in lsc.sessions.values():
-            assert session.skew_bound_satisfied(config.kappa)
-            for sub in session.subscriptions.values():
-                assert config.is_acceptable_layer(sub.layer)
-                assert sub.effective_delay >= sub.end_to_end_delay - 1e-9
+    violations = layer_bound_violations(system)
+    assert not violations, "\n".join(violations)
 
 
 def assert_shard_invariants(system):

@@ -19,6 +19,7 @@ import json
 
 import pytest
 
+from repro.core.session import EventDrivenSession
 from repro.core.telecast import TeleCastSystem, build_views
 from repro.experiments.runner import run_telecast_scenario
 from repro.model.cdn import CDN, CDN_NODE_ID
@@ -278,3 +279,135 @@ class TestStaleMessages:
         assert system.metrics.observed_join_delays[0] == pytest.approx(
             system.metrics.join_delays[0]
         )
+
+
+class TestRejoinDepartRace:
+    """A leave->rejoin racing its own DepartNotice is applied exactly once.
+
+    With a single LSC the protocol's own delays cannot produce the
+    overtake (a JoinRequest's multi-leg route through the GSC is always
+    longer than the one-leg notice on the same latency pair), so these
+    tests drive :class:`EventDrivenSession` directly: the workload-side
+    handlers send the real in-flight notices, and a synthesized rejoin
+    request is delivered while a notice is still in transit -- exactly
+    the ordering an asymmetric network could produce.
+    """
+
+    def _session(self, small_system, producers, num_views=2):
+        views = build_views(producers, num_views=num_views, streams_per_site=3)
+        viewers = [
+            Viewer("v", inbound_capacity_mbps=12.0, outbound_capacity_mbps=4.0)
+        ]
+        session = EventDrivenSession(
+            small_system, viewers, views, heartbeat_period=100.0
+        )
+        sim = small_system.simulator
+        sim.schedule_at(
+            0.0,
+            lambda: session.handle_join(
+                ViewerEvent(time=0.0, kind="join", viewer_id="v")
+            ),
+        )
+        # No periodic sweeper in this harness: close the session late so
+        # post-rejoin heartbeat timers self-cancel and the sim drains.
+        sim.schedule_at(20.0, session._close)
+        return session, sim
+
+    def test_rejoin_overtaking_its_own_depart_notice_is_applied_exactly_once(
+        self, small_system, producers
+    ):
+        session, sim = self._session(small_system, producers)
+        # Depart at t=10; the DepartNotice (one 50 ms leg + 50 ms
+        # processing) lands at 10.1.  The rejoin is delivered at 10.05 --
+        # while the viewer is still connected and its notice in flight.
+        sim.schedule_at(
+            10.0,
+            lambda: session.handle_depart(
+                ViewerEvent(time=10.0, kind="depart", viewer_id="v")
+            ),
+        )
+        rejoin = JoinRequest(
+            src="v", dst="LSC-0", sent_at=10.0, viewer_id="v", view_index=0
+        )
+        sim.schedule_at(10.05, lambda: session._deliver_join_request(rejoin))
+        sim.run()
+        metrics = small_system.metrics
+        # The rejoin was deferred past the departure, then applied once:
+        # the initial join plus exactly one rejoin acceptance.
+        assert metrics.accepted_requests == 2
+        assert metrics.rejected_requests == 0
+        # Deferred, not dropped as a stale duplicate.
+        assert metrics.stale_control_messages == 0
+        # The viewer ends connected exactly once (single home).
+        homes = [lsc for lsc in small_system.gsc.lscs if "v" in lsc.sessions]
+        assert len(homes) == 1
+        # The race bookkeeping fully drains.
+        assert session._pending_departs == {}
+        assert session._deferred_joins == {}
+
+    def test_latest_racing_rejoin_wins(self, small_system, producers):
+        session, sim = self._session(small_system, producers)
+        sim.schedule_at(
+            10.0,
+            lambda: session.handle_depart(
+                ViewerEvent(time=10.0, kind="depart", viewer_id="v")
+            ),
+        )
+        first = JoinRequest(
+            src="v", dst="LSC-0", sent_at=10.0, viewer_id="v", view_index=0
+        )
+        second = JoinRequest(
+            src="v", dst="LSC-0", sent_at=10.02, viewer_id="v", view_index=1
+        )
+        sim.schedule_at(10.04, lambda: session._deliver_join_request(first))
+        sim.schedule_at(10.06, lambda: session._deliver_join_request(second))
+        deferred_mid_flight = []
+        sim.schedule_at(
+            10.08, lambda: deferred_mid_flight.append(session._deferred_joins.get("v"))
+        )
+        sim.run()
+        # While the notice was in flight the latest rejoin had replaced
+        # the earlier one; only that one was applied after the departure.
+        assert deferred_mid_flight == [second]
+        assert small_system.metrics.accepted_requests == 2
+        homes = [lsc for lsc in small_system.gsc.lscs if "v" in lsc.sessions]
+        assert len(homes) == 1
+        assert session._pending_departs == {}
+        assert session._deferred_joins == {}
+
+    def test_rejoin_waits_for_the_last_of_several_inflight_departs(
+        self, small_system, producers
+    ):
+        session, sim = self._session(small_system, producers)
+        # Two departure notices in flight at once (lands 10.1 and 10.12):
+        # the deferred rejoin must wait for the *last* one, and the second
+        # notice -- finding the viewer already departed -- counts stale.
+        for t in (10.0, 10.02):
+            sim.schedule_at(
+                t,
+                lambda t=t: session.handle_depart(
+                    ViewerEvent(time=t, kind="depart", viewer_id="v")
+                ),
+            )
+        rejoin = JoinRequest(
+            src="v", dst="LSC-0", sent_at=10.04, viewer_id="v", view_index=0
+        )
+        sim.schedule_at(10.05, lambda: session._deliver_join_request(rejoin))
+        applied_after_first_notice = []
+        sim.schedule_at(
+            10.11,
+            lambda: applied_after_first_notice.append(
+                small_system.metrics.accepted_requests
+            ),
+        )
+        sim.run()
+        metrics = small_system.metrics
+        # After the first notice landed the rejoin was still held back...
+        assert applied_after_first_notice == [1]
+        # ...and applied exactly once after the second one drained.
+        assert metrics.accepted_requests == 2
+        assert metrics.stale_control_messages == 1
+        homes = [lsc for lsc in small_system.gsc.lscs if "v" in lsc.sessions]
+        assert len(homes) == 1
+        assert session._pending_departs == {}
+        assert session._deferred_joins == {}

@@ -34,7 +34,14 @@ from repro.experiments.runner import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeededRandom
-from repro.sim.transport import DataChannel, DataLink, DataMessage
+from repro.sim.transport import (
+    BernoulliLoss,
+    DataChannel,
+    DataLink,
+    DataMessage,
+    GilbertElliottConfig,
+    GilbertElliottLoss,
+)
 from repro.traces.teeve import TeeveSessionTrace
 
 SMALL_CONFIG = PAPER_CONFIG.with_scaled_population(30, num_lscs=1)
@@ -128,7 +135,7 @@ class TestDataMessagePlumbing:
         with pytest.raises(ValueError):
             DataLink(0.0)
         with pytest.raises(ValueError):
-            DataLink(2.0, loss_rate=1.0)
+            BernoulliLoss(1.0)
         with pytest.raises(ValueError):
             DataChannel(Simulator(), loss_rate=-0.1)
         with pytest.raises(ValueError):
@@ -137,6 +144,14 @@ class TestDataMessagePlumbing:
             DataPlaneConfig(bandwidth_headroom=0.0)
         with pytest.raises(ValueError):
             DataPlaneConfig(batch_quantum=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(p_good_to_bad=1.0, p_bad_to_good=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(p_good_to_bad=0.1, p_bad_to_good=0.0)
+        with pytest.raises(ValueError):
+            DataPlaneConfig(loss_model="markov")
+        with pytest.raises(ValueError):
+            DataPlaneConfig(mean_burst_length=0.5)
 
 
 class TestOfflineEquivalence:
@@ -351,3 +366,106 @@ class TestTwoThousandViewerReplay:
         assert json.dumps(summary, sort_keys=True) == json.dumps(
             second.metrics.summary(), sort_keys=True
         )
+
+
+class TestGilbertElliottChannel:
+    """The bursty two-state loss channel and its Bernoulli memoryless limit."""
+
+    def test_from_mean_loss_roundtrips(self):
+        config = GilbertElliottConfig.from_mean_loss(0.08, mean_burst_length=5.0)
+        assert config.mean_loss_rate == pytest.approx(0.08)
+        assert config.mean_burst_length == pytest.approx(5.0)
+
+    def test_memoryless_limit_is_exactly_bernoulli_parameters(self):
+        config = GilbertElliottConfig.from_mean_loss(0.1, mean_burst_length=1.0)
+        assert config.p_bad_to_good == pytest.approx(1.0)
+        assert config.p_good_to_bad == pytest.approx(0.1)
+
+    def test_memoryless_limit_matches_bernoulli_draw_for_draw(self):
+        # With p_bad_to_good = 1.0 the bad state never survives a frame
+        # and the deterministic transition consumes no RNG draw, so the
+        # loss sequence is bit-identical to Bernoulli on the same seed.
+        gilbert = GilbertElliottLoss(
+            GilbertElliottConfig.from_mean_loss(0.3, mean_burst_length=1.0)
+        )
+        bernoulli = BernoulliLoss(0.3)
+        rng_a, rng_b = SeededRandom(42), SeededRandom(42)
+        sequence_a = [gilbert.lose(rng_a) for _ in range(500)]
+        sequence_b = [bernoulli.lose(rng_b) for _ in range(500)]
+        assert sequence_a == sequence_b
+
+    def test_bursty_channel_produces_longer_runs_at_matched_mean(self):
+        def loss_runs(process, seed, frames=20_000):
+            rng = SeededRandom(seed)
+            runs, current = [], 0
+            for _ in range(frames):
+                if process.lose(rng):
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            if current:
+                runs.append(current)
+            return runs
+
+        bursty = loss_runs(
+            GilbertElliottLoss(
+                GilbertElliottConfig.from_mean_loss(0.1, mean_burst_length=5.0)
+            ),
+            seed=9,
+        )
+        iid = loss_runs(BernoulliLoss(0.1), seed=9)
+        mean = lambda runs: sum(runs) / len(runs)  # noqa: E731
+        # Matched stationary rate, very different temporal structure.
+        assert sum(bursty) == pytest.approx(sum(iid), rel=0.15)
+        assert mean(bursty) == pytest.approx(5.0, rel=0.25)
+        assert mean(iid) == pytest.approx(1.0 / 0.9, rel=0.1)
+
+    def test_memoryless_gilbert_replay_is_byte_identical_to_bernoulli(self):
+        # Acceptance criterion: the Gilbert-Elliott path at burst length
+        # 1.0 produces byte-identical DeliveryRecords to the Bernoulli
+        # path on the same seed -- not statistically close, identical.
+        records = []
+        for loss_model in ("bernoulli", "gilbert"):
+            system, trace = _joined_system(SMALL_CONFIG)
+            report = SimulatedDataPlane(
+                system,
+                trace,
+                DataPlaneConfig(
+                    loss_rate=0.1,
+                    loss_model=loss_model,
+                    mean_burst_length=1.0,
+                    refresh_interval=None,
+                    max_frames_per_stream=100,
+                ),
+            ).run()
+            records.append(sorted(report.deliveries, key=_RECORD_KEY))
+        assert records[0] == records[1]
+        assert len(records[0]) > 0
+
+    def test_burst_loss_degrades_playable_continuity_below_iid(self):
+        # Property: at matched mean loss, bursty losses beat single-frame
+        # concealment while i.i.d. losses mostly don't, so the
+        # concealment-aware playable continuity separates the two where
+        # plain (linear) continuity cannot.
+        def qoe(loss_model, burst):
+            config = SMALL_CONFIG.with_(
+                data_plane="simulated",
+                data_loss_rate=0.1,
+                data_loss_model=loss_model,
+                data_mean_burst_length=burst,
+                data_refresh_interval=None,
+                replay_frames_per_stream=150,
+            )
+            summary = run_telecast_scenario(config, snapshot_every=None).metrics.summary()
+            return summary["qoe_continuity_mean"], summary["qoe_playable_continuity_mean"]
+
+        iid_plain, iid_playable = qoe("bernoulli", 1.0)
+        bursty_plain, bursty_playable = qoe("gilbert", 5.0)
+        # Same mean rate: plain continuity is statistically indistinguishable...
+        assert bursty_plain == pytest.approx(iid_plain, abs=0.05)
+        # ...but bursts are unconcealable, so playable continuity drops.
+        assert bursty_playable < iid_playable - 0.02
+        # Concealment can only help: playable >= plain on both channels.
+        assert iid_playable >= iid_plain
+        assert bursty_playable >= bursty_plain

@@ -405,3 +405,53 @@ class TestChurnSchedules:
         assert_routing_matches_trees(system)
         assert_layer_invariants(system)
         assert system.metrics.abrupt_departures > 0
+
+
+class TestHeartbeatFlapping:
+    """Regression: heartbeat period beyond the failure timeout.
+
+    Viewers heartbeat every 15 s against the default 10 s detector
+    timeout, so every healthy viewer goes silent longer than the
+    detector tolerates and the periodic sweep spuriously repairs live
+    viewers.  Spurious repairs are allowed; dangling routing state and
+    leaked detector entries are not.
+    """
+
+    def test_spurious_sweep_repairs_leave_no_dangling_state(
+        self, small_system, producers
+    ):
+        system = small_system
+        views = build_views(producers, num_views=2)
+        viewers = make_viewers(12, outbound=6.0)
+        # The schedule contains no failure at all: everyone joins at t=0
+        # and a late graceful leave/rejoin keeps the session open past
+        # several sweep periods (the event horizon is the last workload
+        # intent, so without the tail the run would close before the
+        # first 15 s sweep ever fired).
+        events = [
+            ViewerEvent(time=0.0, kind="join", viewer_id=v.viewer_id)
+            for v in viewers
+        ] + [
+            ViewerEvent(time=44.0, kind="depart", viewer_id=viewers[0].viewer_id),
+            ViewerEvent(time=45.0, kind="join", viewer_id=viewers[0].viewer_id),
+        ]
+        metrics = system.run_workload(
+            viewers,
+            events,
+            views,
+            control_plane="simulated",
+            heartbeat_period=15.0,
+        )
+        # The sweep repaired live viewers even though none ever failed.
+        assert metrics.abrupt_departures > 0
+        # Flapping never corrupts the overlay: whatever ended connected
+        # is structurally sound, and the swept viewers left no residue.
+        connected = {vid for lsc in system.gsc.lscs for vid in lsc.sessions}
+        gone = {v.viewer_id for v in viewers} - connected
+        assert_no_dangling_references(system, gone)
+        assert_routing_matches_trees(system)
+        assert_layer_invariants(system)
+        # The detectors track exactly the connected population: no
+        # evicted viewer is still watched, none connected is forgotten.
+        for manager in system.recovery_managers().values():
+            assert set(manager.detector.watched()) <= connected

@@ -345,6 +345,7 @@ class TestPresets:
             "shards",
             "controlplane",
             "qoe",
+            "scenarios",
         }
 
     def test_scale10k_sweeps_an_order_of_magnitude(self):
