@@ -256,6 +256,19 @@ class EventDrivenSession(_DriverBase):
 
     def run(self, events: Sequence[ViewerEvent]):
         """Replay the schedule as in-flight control traffic; return metrics."""
+        self.begin(events)
+        return self.finish()
+
+    def begin(self, events: Sequence[ViewerEvent]) -> None:
+        """Schedule the whole workload as future intents (without running).
+
+        Splitting the schedule from the drain is what makes mid-run
+        snapshots possible: a caller can ``begin(events)``, advance the
+        simulator partway (``sim.run(until=t)``), pickle the session
+        graph -- the queue of scheduled-but-unfired intents and in-flight
+        messages travels inside it -- and ``finish()`` later, in the same
+        or a different process, with identical results.
+        """
         sim = self.system.simulator
         ordered = sorted(events, key=event_sort_key)
         for event in ordered:
@@ -274,7 +287,10 @@ class EventDrivenSession(_DriverBase):
             sim.schedule_at(ordered[-1].time, self._close, label="close")
         else:
             self._closing = True
-        sim.run()
+
+    def finish(self):
+        """Drain every scheduled intent and in-flight message; return metrics."""
+        self.system.simulator.run()
         metrics = self.system.metrics
         # Stale deliveries were already counted one by one via _stale().
         metrics.record_control_traffic(
@@ -285,6 +301,65 @@ class EventDrivenSession(_DriverBase):
         self._replay_data_plane()
         self._snapshot()
         return metrics
+
+    # -- long-lived service mode -------------------------------------------------
+
+    def open_service(self) -> None:
+        """Start (or resume) a long-lived session: sweeper on, no close.
+
+        Used by :mod:`repro.service`: ops arrive one at a time via
+        :meth:`submit` while the daemon paces the simulator against the
+        wall clock, instead of a pre-baked schedule with a known end.
+        Also the counterpart of :meth:`pause_service`: heartbeat timers
+        of every connected viewer are (re)started.
+        """
+        self._closing = False
+        if self._sweeper is None:
+            self._sweeper = PeriodicProcess(
+                self.system.simulator,
+                self.heartbeat_period,
+                self._sweep,
+                label="failure-sweep",
+            )
+        for lsc in self.system.gsc.lscs:
+            for viewer_id in lsc.sessions:
+                self._start_heartbeats(viewer_id)
+
+    def pause_service(self) -> None:
+        """Suspend the periodic traffic of a live session.
+
+        Stops the failure sweeper and every heartbeat timer so the
+        simulator queue can fully drain -- the precondition for running a
+        data-plane replay (whose ``sim.run()`` would otherwise chase the
+        self-rescheduling periodic events forever).  In-flight control
+        messages stay queued and still deliver.  :meth:`open_service`
+        resumes the periodic traffic afterwards.
+        """
+        self._closing = True
+        if self._sweeper is not None:
+            self._sweeper.stop()
+            self._sweeper = None
+        for viewer_id in list(self._heartbeat_timers):
+            self._stop_heartbeats(viewer_id)
+
+    def submit(self, event: ViewerEvent) -> None:
+        """Inject one live op at the current simulation time.
+
+        The op takes exactly the path a scheduled workload intent takes:
+        it becomes a typed control message with in-flight latency, and
+        session state mutates when the message is delivered.
+        """
+        dispatch_event(self, event)
+
+    def close_service(self):
+        """Wind the live session down and drain it; return the metrics.
+
+        The counterpart of :meth:`finish` for daemon-driven sessions:
+        stops heartbeat traffic and the failure sweeper, delivers
+        everything still in flight, and records the channel totals.
+        """
+        self._close()
+        return self.finish()
 
     def _close(self) -> None:
         self._closing = True

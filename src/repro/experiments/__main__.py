@@ -17,6 +17,8 @@ Examples::
     python -m repro.experiments scenario flash-crowd --viewers 2000 --seed 42
     python -m repro.experiments compare results/smoke.jsonl \\
         --baseline results/baseline_smoke.jsonl
+    python -m repro.experiments serve --viewers 2000 --port 7400 --dilation 10
+    python -m repro.experiments serve --restore snapshots/service-*.snap
 
 Figure mode prints the same text table the benchmark harness prints, so
 figures can be regenerated (e.g. at a different scale) without going
@@ -643,11 +645,101 @@ def _compare_main(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``serve`` subcommand (the long-lived service daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Run the live service daemon: a long-lived event-driven session "
+            "accepting line-oriented ops (join/leave/view_change/fail/...) "
+            "over TCP, serving Prometheus metrics on GET /metrics from the "
+            "same port, with snapshot/restore of the full session state."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed on start)"
+    )
+    parser.add_argument(
+        "--viewers", type=int, default=400, help="provisioned viewer pool size"
+    )
+    parser.add_argument(
+        "--lscs", type=int, default=3, help="number of region-sharded LSCs"
+    )
+    parser.add_argument(
+        "--dilation",
+        type=float,
+        default=1.0,
+        help="simulated seconds per wall-clock second; 0 disables pacing so "
+        "simulation time advances only on explicit 'advance' ops "
+        "(fully deterministic op-driven mode)",
+    )
+    parser.add_argument(
+        "--heartbeat-period",
+        type=float,
+        default=2.0,
+        help="heartbeat/failure-sweep interval of connected viewers",
+    )
+    parser.add_argument(
+        "--control-delay-scale",
+        type=float,
+        default=1.0,
+        help="multiplier on every control-message transit delay",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="re-derive every RNG seed from this"
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        default="snapshots",
+        help="directory bare 'snapshot' ops write into",
+    )
+    parser.add_argument(
+        "--restore",
+        default=None,
+        help="resume from this snapshot file instead of building a fresh world",
+    )
+    parser.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=None,
+        help="shut down after this many wall-clock seconds (CI guard)",
+    )
+    return parser
+
+
+def _serve_main(arguments: List[str]) -> int:
+    from repro.service.daemon import ServeConfig, ServiceDaemon
+
+    args = build_serve_parser().parse_args(arguments)
+    serve = ServeConfig(
+        host=args.host,
+        port=args.port,
+        viewers=args.viewers,
+        num_lscs=args.lscs,
+        time_dilation=args.dilation,
+        heartbeat_period=args.heartbeat_period,
+        control_delay_scale=args.control_delay_scale,
+        seed=args.seed,
+        snapshot_dir=args.snapshot_dir,
+        restore=args.restore,
+        max_wall_seconds=args.max_wall_seconds,
+    )
+    if args.restore:
+        daemon = ServiceDaemon.restore(serve, args.restore)
+    else:
+        daemon = ServiceDaemon(serve)
+    daemon.serve_forever()
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "run":
         return _run_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return _serve_main(arguments[1:])
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
     if arguments and arguments[0] == "scenario":
@@ -660,6 +752,8 @@ def main(argv=None) -> int:
         for figure_id, description in sorted(_FIGURES.items()):
             print(f"  {figure_id}: {description}")
         print("  run: run one scenario end to end (--profile for phase timings)")
+        print("  serve: run the live service daemon (ops over TCP, GET /metrics, "
+              "snapshot/restore)")
         print("  sweep: run a named parameter sweep (see `sweep --list`)")
         print("  scenario: run an invariant-gated adversarial preset "
               "(see `scenario --list`)")

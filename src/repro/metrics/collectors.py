@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.metrics.reservoir import ReservoirSample
+
 
 @dataclass(frozen=True)
 class SystemSnapshot:
@@ -84,16 +86,22 @@ class SessionMetrics:
     lsc_failovers: int = 0
     failover_migrated_viewers: int = 0
     failover_lost_viewers: int = 0
-    join_delays: List[float] = field(default_factory=list)
-    view_change_delays: List[float] = field(default_factory=list)
+    #: Raw sample series are bounded reservoirs
+    #: (:class:`~repro.metrics.reservoir.ReservoirSample`), not plain
+    #: lists: a long-lived service session records samples forever, and
+    #: the reservoir caps memory while keeping percentile summaries a
+    #: uniform estimate.  Below the cap (every batch scenario) the
+    #: reservoir is the exact sample list, so goldens are unaffected.
+    join_delays: ReservoirSample = field(default_factory=ReservoirSample)
+    view_change_delays: ReservoirSample = field(default_factory=ReservoirSample)
     #: Observed (simulated-clock) latencies recorded by the event-driven
     #: control plane: the time from a viewer's intent until the matching
     #: ack/notify message was delivered.  Empty under the instant control
     #: plane, whose delays are the analytic estimates above -- comparing
     #: the two distributions is how the paper's delay model is validated.
-    observed_join_delays: List[float] = field(default_factory=list)
-    observed_view_change_delays: List[float] = field(default_factory=list)
-    observed_repair_delays: List[float] = field(default_factory=list)
+    observed_join_delays: ReservoirSample = field(default_factory=ReservoirSample)
+    observed_view_change_delays: ReservoirSample = field(default_factory=ReservoirSample)
+    observed_repair_delays: ReservoirSample = field(default_factory=ReservoirSample)
     #: Control-message traffic of the event-driven driver; all zero under
     #: the instant control plane.  ``stale_control_messages`` counts
     #: deliveries whose subject already left the session (races).
@@ -102,11 +110,11 @@ class SessionMetrics:
     stale_control_messages: int = 0
     #: QoE measurements of the simulated data plane; all empty/zero when
     #: the frame replay did not run (instant summaries stay golden).
-    qoe_startup_delays: List[float] = field(default_factory=list)
-    qoe_continuities: List[float] = field(default_factory=list)
-    qoe_playable_continuities: List[float] = field(default_factory=list)
-    qoe_skews: List[float] = field(default_factory=list)
-    qoe_playout_skews: List[float] = field(default_factory=list)
+    qoe_startup_delays: ReservoirSample = field(default_factory=ReservoirSample)
+    qoe_continuities: ReservoirSample = field(default_factory=ReservoirSample)
+    qoe_playable_continuities: ReservoirSample = field(default_factory=ReservoirSample)
+    qoe_skews: ReservoirSample = field(default_factory=ReservoirSample)
+    qoe_playout_skews: ReservoirSample = field(default_factory=ReservoirSample)
     qoe_dbuff: float = 0.0
     data_frames_sent: int = 0
     data_frames_delivered: int = 0

@@ -1,0 +1,129 @@
+"""Bounded metric sample storage: deterministic reservoir sampling.
+
+The session metrics keep raw per-request latency and QoE samples so the
+summaries can report percentiles.  In batch runs those lists are bounded
+by the workload size, but a long-lived service session accumulates
+samples forever -- a multi-hour soak of millions of cumulative joins
+would grow them without limit.  :class:`ReservoirSample` caps the
+retained samples with Vitter's Algorithm R: every recorded value is kept
+while fewer than ``cap`` have arrived; beyond that each new value
+replaces a uniformly random retained one with probability ``cap/n``, so
+the retained set stays a uniform sample of everything ever recorded and
+percentile summaries remain unbiased estimates.
+
+Determinism matters here as much as anywhere else in the reproduction:
+the replacement decisions are drawn from a private ``random.Random``
+seeded by a constant, so the retained sample depends only on the
+insertion order -- two runs (or a snapshot/restore pair) that record the
+same sequence retain byte-identical values.
+
+Below the cap the reservoir *is* the full sample list, which is how the
+golden summaries stay byte-identical: every pinned scenario records far
+fewer samples than :data:`DEFAULT_CAP`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List
+
+#: Retained-sample cap of the session-metrics reservoirs.  High enough
+#: that every batch scenario (10k-viewer runs included) stays exact, low
+#: enough that a metric series costs at most ~0.5 MB no matter how long
+#: the service session lives.
+DEFAULT_CAP = 65536
+
+#: Fixed seed of the replacement RNG (determinism across processes).
+_RESERVOIR_SEED = 0x5EED
+
+
+class ReservoirSample:
+    """A bounded, sequence-like container of float samples.
+
+    Implements enough of the list protocol (``append``, ``extend``,
+    ``len``, iteration, indexing, truthiness) that the metric summaries
+    and existing tests treat it exactly like the list it replaces, while
+    :attr:`count` keeps the true number of recorded samples.
+
+    Example
+    -------
+    >>> r = ReservoirSample(cap=3)
+    >>> r.extend([1.0, 2.0, 3.0])
+    >>> list(r), r.count
+    ([1.0, 2.0, 3.0], 3)
+    >>> for value in range(1000):
+    ...     r.append(float(value))
+    >>> len(r), r.count
+    (3, 1003)
+    """
+
+    __slots__ = ("_cap", "_values", "_count", "_random")
+
+    def __init__(self, cap: int = DEFAULT_CAP) -> None:
+        if cap <= 0:
+            raise ValueError(f"cap must be > 0, got {cap}")
+        self._cap = cap
+        self._values: List[float] = []
+        self._count = 0
+        self._random = random.Random(_RESERVOIR_SEED)
+
+    @property
+    def cap(self) -> int:
+        """Maximum number of retained samples."""
+        return self._cap
+
+    @property
+    def count(self) -> int:
+        """Total samples ever recorded (retained or displaced)."""
+        return self._count
+
+    def append(self, value: float) -> None:
+        """Record one sample (Algorithm R replacement beyond the cap)."""
+        self._count += 1
+        if len(self._values) < self._cap:
+            self._values.append(value)
+            return
+        slot = self._random.randrange(self._count)
+        if slot < self._cap:
+            self._values[slot] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record every sample of an iterable, in order."""
+        for value in values:
+            self.append(value)
+
+    def values(self) -> List[float]:
+        """A copy of the retained samples (insertion/replacement order)."""
+        return list(self._values)
+
+    # -- sequence protocol (drop-in for the list it replaces) ------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ReservoirSample):
+            return self._values == other._values and self._count == other._count
+        if isinstance(other, list):
+            return self._values == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReservoirSample(cap={self._cap}, count={self._count}, "
+            f"retained={len(self._values)})"
+        )
+
+    # __eq__ without __hash__ would silently make instances unhashable in
+    # a way that breaks pickling of dicts keyed by them; metrics never key
+    # on reservoirs, so identity hashing is correct and explicit here.
+    __hash__ = object.__hash__

@@ -9,7 +9,13 @@ See :mod:`repro.scenarios.presets` for the preset table and
 
 from repro.scenarios.invariants import INVARIANTS, check_invariants
 from repro.scenarios.presets import SCENARIOS, ScenarioSpec
-from repro.scenarios.runner import ScenarioRun, resolve_spec, run_record, run_scenario
+from repro.scenarios.runner import (
+    ScenarioRun,
+    live_op_script,
+    resolve_spec,
+    run_record,
+    run_scenario,
+)
 
 __all__ = [
     "INVARIANTS",
@@ -17,6 +23,7 @@ __all__ = [
     "ScenarioRun",
     "ScenarioSpec",
     "check_invariants",
+    "live_op_script",
     "resolve_spec",
     "run_record",
     "run_scenario",

@@ -1,0 +1,42 @@
+"""Long-lived service mode: daemon, wire protocol, live metrics, snapshots.
+
+Everything else in the repository is batch: build a scenario, replay a
+schedule, print a summary, exit.  This package is the serving shell the
+ROADMAP's production-traffic story needs -- a daemon
+(:mod:`repro.service.daemon`) that drives the event-driven session
+against wall-clock pacing, a line-oriented op protocol
+(:mod:`repro.service.protocol`) so joins/leaves/view changes arrive
+while the overlay is live, a Prometheus-text metrics exporter
+(:mod:`repro.service.metrics_export`), durable snapshot/restore of the
+full session graph (:mod:`repro.service.snapshot`) and a churn
+client/soak driver (:mod:`repro.service.soak`).
+"""
+
+from repro.service.daemon import ServeConfig, ServiceDaemon, ServiceState
+from repro.service.metrics_export import Metric, render_metrics, service_metrics
+from repro.service.protocol import Op, ProtocolError, format_op, parse_op
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+    snapshot_roundtrip,
+)
+
+__all__ = [
+    "Metric",
+    "Op",
+    "ProtocolError",
+    "SNAPSHOT_VERSION",
+    "ServeConfig",
+    "ServiceDaemon",
+    "ServiceState",
+    "SnapshotError",
+    "format_op",
+    "load_snapshot",
+    "parse_op",
+    "render_metrics",
+    "save_snapshot",
+    "service_metrics",
+    "snapshot_roundtrip",
+]

@@ -1,0 +1,255 @@
+"""Prometheus text-format exposition of the live session metrics.
+
+The daemon serves ``GET /metrics`` from the same TCP port as the op
+protocol; this module turns a stats mapping (produced by
+:meth:`repro.service.daemon.ServiceDaemon.stats`) into the Prometheus
+`text exposition format v0.0.4 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+one ``# HELP`` and ``# TYPE`` block per metric family, counters suffixed
+``_total``, quantiles as labelled gauge samples.
+
+Kept free of socket and daemon imports so the renderer is trivially
+unit-testable: ``service_metrics(stats)`` maps the stats dict to typed
+:class:`Metric` families, ``render_metrics`` serialises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Quantiles exported for every latency distribution.
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One metric family: name, kind, help text and labelled samples."""
+
+    name: str
+    kind: str  # "counter" | "gauge"
+    help: str
+    samples: Tuple[Tuple[Mapping[str, str], float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "gauge"):
+            raise ValueError(f"kind must be 'counter' or 'gauge', got {self.kind!r}")
+        if self.kind == "counter" and not self.name.endswith("_total"):
+            raise ValueError(f"counter {self.name!r} must end in '_total'")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_metrics(metrics: Sequence[Metric]) -> str:
+    """Serialise metric families into the Prometheus text format."""
+    lines: List[str] = []
+    for metric in metrics:
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labels, value in metric.samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                lines.append(f"{metric.name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{metric.name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _single(value: float) -> Tuple[Tuple[Mapping[str, str], float], ...]:
+    return (({}, float(value)),)
+
+
+def _quantile_samples(
+    percentiles: Mapping[float, float]
+) -> Tuple[Tuple[Mapping[str, str], float], ...]:
+    return tuple(
+        ({"quantile": f"{q:g}"}, float(value)) for q, value in sorted(percentiles.items())
+    )
+
+
+def quantiles_of(samples: Sequence[float]) -> Dict[float, float]:
+    """The exported quantiles of one sample series (empty -> empty)."""
+    from repro.metrics.stats import percentile
+
+    if not samples:
+        return {}
+    return {q: percentile(samples, q * 100.0) for q in _QUANTILES}
+
+
+def service_metrics(stats: Mapping[str, object]) -> List[Metric]:
+    """Map one daemon stats mapping to Prometheus metric families.
+
+    ``stats`` is the flat dict :meth:`ServiceDaemon.stats` builds; keys
+    that are absent simply omit their family, so the exporter works with
+    partial stats (e.g. in unit tests).
+    """
+    metrics: List[Metric] = []
+
+    def gauge(name: str, help_text: str, key: str) -> None:
+        if key in stats:
+            metrics.append(
+                Metric(name, "gauge", help_text, _single(float(stats[key])))  # type: ignore[arg-type]
+            )
+
+    def counter(name: str, help_text: str, key: str) -> None:
+        if key in stats:
+            metrics.append(
+                Metric(name, "counter", help_text, _single(float(stats[key])))  # type: ignore[arg-type]
+            )
+
+    gauge("repro_uptime_seconds", "Wall-clock seconds since the daemon started", "uptime_seconds")
+    gauge("repro_sim_time_seconds", "Current simulation-clock time", "sim_time")
+    gauge("repro_time_dilation", "Simulated seconds per wall-clock second", "time_dilation")
+    gauge(
+        "repro_event_loop_lag_seconds",
+        "Wall-clock duration of the last simulator advance (pacing lag)",
+        "event_loop_lag_seconds",
+    )
+    gauge("repro_connected_viewers", "Viewers currently holding a session", "connected_viewers")
+    gauge("repro_viewer_pool_size", "Provisioned viewer population of the world", "pool_size")
+    gauge(
+        "repro_acceptance_ratio",
+        "Cumulative accepted/requested stream ratio",
+        "acceptance_ratio",
+    )
+    gauge(
+        "repro_request_acceptance_ratio",
+        "Fraction of viewer requests accepted",
+        "request_acceptance_ratio",
+    )
+    counter("repro_requests_total", "Join and view-change requests processed", "requests_total")
+    counter("repro_accepted_requests_total", "Requests accepted", "accepted_requests")
+    counter("repro_rejected_requests_total", "Requests rejected", "rejected_requests")
+    counter("repro_abrupt_departures_total", "Abrupt departures repaired", "abrupt_departures")
+    if "repaired_subscriptions_p2p" in stats or "repaired_subscriptions_cdn" in stats:
+        metrics.append(
+            Metric(
+                "repro_repaired_subscriptions_total",
+                "counter",
+                "Subscriptions re-parented after failures, by repair path",
+                (
+                    ({"path": "p2p"}, float(stats.get("repaired_subscriptions_p2p", 0))),  # type: ignore[arg-type]
+                    ({"path": "cdn"}, float(stats.get("repaired_subscriptions_cdn", 0))),  # type: ignore[arg-type]
+                ),
+            )
+        )
+    counter(
+        "repro_lost_repair_subscriptions_total",
+        "Subscriptions lost because no repair parent existed",
+        "lost_repair_subscriptions",
+    )
+    counter("repro_lsc_failovers_total", "Controller failovers executed", "lsc_failovers")
+    counter(
+        "repro_control_messages_sent_total",
+        "Control messages put in flight",
+        "control_messages_sent",
+    )
+    counter(
+        "repro_control_messages_delivered_total",
+        "Control messages delivered",
+        "control_messages_delivered",
+    )
+    counter(
+        "repro_stale_control_messages_total",
+        "Deliveries whose subject already left the session",
+        "stale_control_messages",
+    )
+    gauge(
+        "repro_control_messages_in_flight",
+        "Control messages sent but not yet delivered",
+        "control_messages_in_flight",
+    )
+    gauge("repro_pending_events", "Events queued on the simulator", "pending_events")
+    if "ops_total" in stats:
+        ops = stats["ops_total"]
+        metrics.append(
+            Metric(
+                "repro_ops_total",
+                "counter",
+                "Protocol ops processed, by op kind",
+                tuple(
+                    ({"op": op}, float(count))
+                    for op, count in sorted(ops.items())  # type: ignore[union-attr]
+                ),
+            )
+        )
+    counter("repro_snapshots_total", "Snapshots written to disk", "snapshots_taken")
+    gauge("repro_rss_bytes", "Resident set size of the daemon process", "rss_bytes")
+
+    for key, name, help_text in (
+        ("observed_join_delay", "repro_observed_join_delay_seconds",
+         "Observed end-to-end join exchange latency"),
+        ("observed_view_change_delay", "repro_observed_view_change_delay_seconds",
+         "Observed end-to-end view-change exchange latency"),
+        ("observed_repair_delay", "repro_observed_repair_delay_seconds",
+         "Observed detection-to-notify repair latency"),
+    ):
+        quantile_map = stats.get(f"{key}_quantiles")
+        if quantile_map:
+            metrics.append(
+                Metric(name, "gauge", help_text, _quantile_samples(quantile_map))  # type: ignore[arg-type]
+            )
+    gauge(
+        "repro_qoe_continuity_mean",
+        "Mean playback continuity of the last data-plane replay",
+        "qoe_continuity_mean",
+    )
+    gauge(
+        "repro_qoe_playable_continuity_mean",
+        "Mean concealment-aware playable continuity",
+        "qoe_playable_continuity_mean",
+    )
+    quantile_map = stats.get("qoe_playout_skew_quantiles")
+    if quantile_map:
+        metrics.append(
+            Metric(
+                "repro_qoe_playout_skew_seconds",
+                "gauge",
+                "Renderer-visible inter-stream playout skew",
+                _quantile_samples(quantile_map),  # type: ignore[arg-type]
+            )
+        )
+    counter("repro_data_frames_sent_total", "Data-plane frames sent", "data_frames_sent")
+    counter(
+        "repro_data_frames_delivered_total",
+        "Data-plane frames delivered",
+        "data_frames_delivered",
+    )
+    counter("repro_data_frames_lost_total", "Data-plane frames lost", "data_frames_lost")
+    return metrics
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident set size of this process, if measurable.
+
+    Reads ``/proc/self/status`` (Linux); falls back to the
+    ``resource.getrusage`` high-water mark elsewhere; ``None`` when
+    neither source exists.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return usage * 1024 if usage < 1 << 32 else usage
+    except Exception:  # pragma: no cover - platform without getrusage
+        return None

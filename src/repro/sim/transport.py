@@ -193,15 +193,38 @@ class ControlChannel:
         require_non_negative(delay, "delay")
         self.sent += 1
         self._in_flight += 1
-
-        def deliver() -> None:
-            self._in_flight -= 1
-            self.delivered += 1
-            handler(message)
-
         return self.simulator.schedule(
-            delay, deliver, label=f"msg:{type(message).__name__}"
+            delay,
+            _Delivery(self, handler, message),
+            label=f"msg:{type(message).__name__}",
         )
+
+
+class _Delivery:
+    """A scheduled message delivery: counts the arrival, runs the handler.
+
+    A module-level class (not a closure) so an in-flight message survives
+    a snapshot: pickling the simulator queue carries the channel, the
+    handler (a bound method of the driver) and the frozen message along,
+    and the restored event fires exactly as the original would have.
+    """
+
+    __slots__ = ("channel", "handler", "message")
+
+    def __init__(
+        self,
+        channel: "ControlChannel",
+        handler: Callable[[ControlMessage], Any],
+        message: ControlMessage,
+    ) -> None:
+        self.channel = channel
+        self.handler = handler
+        self.message = message
+
+    def __call__(self) -> None:
+        self.channel._in_flight -= 1
+        self.channel.delivered += 1
+        self.handler(self.message)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,111 @@
+"""Bounded metric sample storage: the reservoir-sampling collector.
+
+Satellite of the service-mode PR: a long-lived session appends latency
+samples forever, so the metric series must be bounded.  Below the cap
+the reservoir is *exactly* the appended list (goldens unaffected); above
+it, memory stays capped and percentile summaries remain an unbiased
+estimate within tolerance.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.metrics.collectors import SessionMetrics
+from repro.metrics.reservoir import ReservoirSample
+from repro.metrics.stats import percentile
+from repro.sim.rng import SeededRandom
+
+
+class TestExactBelowCap:
+    def test_is_the_plain_list_below_cap(self):
+        reservoir = ReservoirSample(cap=100)
+        reservoir.extend(float(i) for i in range(100))
+        assert list(reservoir) == [float(i) for i in range(100)]
+        assert reservoir.count == 100
+        assert len(reservoir) == 100
+
+    def test_sequence_protocol(self):
+        reservoir = ReservoirSample(cap=10)
+        assert not reservoir
+        reservoir.extend([1.0, 2.0, 3.0])
+        assert reservoir
+        assert reservoir[0] == 1.0
+        assert reservoir[-1] == 3.0
+        assert list(reversed(reservoir)) == [3.0, 2.0, 1.0]
+
+    def test_equality_with_lists_and_reservoirs(self):
+        reservoir = ReservoirSample(cap=10)
+        reservoir.extend([1.0, 2.0])
+        other = ReservoirSample(cap=10)
+        other.extend([1.0, 2.0])
+        assert reservoir == [1.0, 2.0]
+        assert reservoir == other
+        assert reservoir != [1.0]
+
+
+class TestCapHolds:
+    def test_retained_never_exceeds_cap(self):
+        reservoir = ReservoirSample(cap=1000)
+        for value in range(50_000):
+            reservoir.append(float(value))
+            assert len(reservoir) <= 1000
+        assert len(reservoir) == 1000
+        assert reservoir.count == 50_000
+
+    def test_percentiles_within_tolerance_over_uniform_stream(self):
+        reservoir = ReservoirSample(cap=1000)
+        rng = SeededRandom(99)
+        exact = []
+        for _ in range(50_000):
+            value = rng.uniform(0.0, 1.0)
+            exact.append(value)
+            reservoir.append(value)
+        for q in (50.0, 95.0, 99.0):
+            estimate = percentile(reservoir, q)
+            truth = percentile(exact, q)
+            assert estimate == pytest.approx(truth, abs=0.05), q
+
+    def test_deterministic_retained_set(self):
+        def build():
+            reservoir = ReservoirSample(cap=64)
+            reservoir.extend(float(i) for i in range(10_000))
+            return reservoir.values()
+
+        assert build() == build()
+
+    def test_pickle_round_trip_preserves_stream_position(self):
+        reservoir = ReservoirSample(cap=16)
+        reservoir.extend(float(i) for i in range(1000))
+        clone = pickle.loads(pickle.dumps(reservoir))
+        assert clone == reservoir
+        assert clone.count == reservoir.count
+        # Continuing both with the same values keeps them identical: the
+        # RNG state travels through the pickle (snapshot determinism).
+        reservoir.extend([1.0, 2.0, 3.0])
+        clone.extend([1.0, 2.0, 3.0])
+        assert clone == reservoir
+
+
+class TestSessionMetricsIntegration:
+    def test_metric_series_are_reservoirs(self):
+        metrics = SessionMetrics()
+        assert isinstance(metrics.join_delays, ReservoirSample)
+        assert isinstance(metrics.observed_join_delays, ReservoirSample)
+        assert isinstance(metrics.qoe_playout_skews, ReservoirSample)
+
+    def test_summary_unchanged_below_cap(self):
+        metrics = SessionMetrics()
+        for delay in (0.1, 0.2, 0.3, 0.4):
+            metrics.record_join(
+                requested=6,
+                accepted=6,
+                join_delay=delay,
+                request_accepted=True,
+            )
+        summary = metrics.summary()
+        assert summary["join_delay_p50"] == pytest.approx(
+            percentile([0.1, 0.2, 0.3, 0.4], 50.0)
+        )
