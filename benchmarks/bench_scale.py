@@ -187,7 +187,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     record = {
         "benchmark": "scale",
         "quick": args.quick,
+        # cpu_count reports the machine; this benchmark itself is
+        # single-process (workers_used == 1 by construction).
         "cpu_count": os.cpu_count(),
+        "workers_used": 1,
         "scenario": "telecast broadcast (num_views=1, num_lscs=3)",
         "points": points,
         "reference_2k": reference,

@@ -1,0 +1,230 @@
+"""Shard-parallel scale benchmark: 100k-viewer telecasts across processes.
+
+The scenario is the same telecast broadcast the single-process scale
+benchmark (``bench_scale.py``) runs -- one headline view, region-sharded
+control plane -- pushed an order of magnitude further and executed on
+the shard-parallel engine (:mod:`repro.parallel`): each group of LSCs
+runs its controller, stream trees and event loop in its own worker
+process.  The benchmark times one single-process leg and one sharded leg
+over the identical seeded scenario and checks two things:
+
+* **Parity** (always enforced): the per-LSC placement digests of the
+  sharded run must be byte-identical to the single-process run's -- the
+  parallel engine may only change wall-clock time, never placement.
+* **Speedup** (enforced on >= 4 cores): the sharded leg must be at
+  least ``--min-speedup`` (default 3x) faster at the headline
+  population.  On smaller machines process parallelism cannot win
+  anything, so the measured speedup is reported in the record but not
+  gated.
+
+Output is the machine-readable ``BENCH_scale_parallel.json``
+perf-trajectory record (``cpu_count`` reports the machine,
+``workers_used`` the actual worker processes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale_parallel.py          # full: up to 100k
+    PYTHONPATH=src python benchmarks/bench_scale_parallel.py --quick  # CI: 10k, 2 workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
+from repro.experiments.runner import build_scenario, build_telecast_system
+from repro.metrics.placement import per_lsc_placement_digests
+from repro.parallel import run_sharded_scenario
+
+#: Populations of the full benchmark (the --quick CI mode uses QUICK_*).
+POPULATIONS = (20000, 50000, 100000)
+
+#: LSC count of the full benchmark (shards spread over the workers).
+NUM_LSCS = 8
+
+#: Worker processes of the full benchmark.
+WORKERS = 4
+
+QUICK_POPULATION = 10000
+QUICK_WORKERS = 2
+QUICK_NUM_LSCS = 4
+
+#: Required sharded-vs-single-process speedup at the headline population.
+DEFAULT_MIN_SPEEDUP = 3.0
+
+#: Cores below which the speedup gate is report-only: with fewer cores
+#: than this there is nothing for process parallelism to win.
+MIN_CORES_FOR_GATE = 4
+
+
+def _broadcast_config(num_viewers: int, num_lscs: int) -> ExperimentConfig:
+    """The benchmark scenario: one headline view, uncapped CDN.
+
+    The CDN is uncapped so the parity guarantee is unconditional: with
+    per-shard CDN accounting, admission decisions match the
+    single-process run exactly whenever the CDN never saturates.
+    """
+    return PAPER_CONFIG.with_scaled_population(
+        num_viewers, num_lscs=num_lscs, num_views=1
+    ).with_uncapped_cdn()
+
+
+def _measure_single(config: ExperimentConfig) -> Dict[str, object]:
+    """Single-process leg: full workload run plus placement digests."""
+    scenario = build_scenario(config)
+    system = build_telecast_system(scenario)
+    started = time.perf_counter()
+    metrics = system.run_workload(
+        scenario.viewers, scenario.events, scenario.views, snapshot_every=None
+    )
+    elapsed = time.perf_counter() - started
+    snapshot = system.snapshot()
+    return {
+        "num_viewers": config.num_viewers,
+        "workers_used": 1,
+        "connected": snapshot.num_viewers,
+        "acceptance_ratio": snapshot.acceptance_ratio,
+        "wall_clock_s": round(elapsed, 4),
+        "joins_per_s": round(snapshot.num_requests / elapsed, 2)
+        if elapsed > 0
+        else float("inf"),
+        "digests": per_lsc_placement_digests(system),
+    }
+
+
+def _measure_sharded(config: ExperimentConfig, workers: int) -> Dict[str, object]:
+    """Sharded leg: the same scenario over ``workers`` processes."""
+    started = time.perf_counter()
+    sharded = run_sharded_scenario(
+        config.with_(shard_workers=workers), snapshot_every=None
+    )
+    elapsed = time.perf_counter() - started
+    snapshot = sharded.result.final_snapshot
+    return {
+        "num_viewers": config.num_viewers,
+        "workers_used": sharded.num_workers,
+        "connected": snapshot.num_viewers,
+        "acceptance_ratio": snapshot.acceptance_ratio,
+        "wall_clock_s": round(elapsed, 4),
+        "joins_per_s": round(snapshot.num_requests / elapsed, 2)
+        if elapsed > 0
+        else float("inf"),
+        "digests": dict(sharded.placement_digests),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI mode: {QUICK_POPULATION} viewers, {QUICK_WORKERS} workers",
+    )
+    parser.add_argument(
+        "--record",
+        default="BENCH_scale_parallel.json",
+        help="where to write the JSON record (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="required sharded speedup at the headline population on "
+        f">= {MIN_CORES_FOR_GATE} cores (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if args.quick:
+        populations = (QUICK_POPULATION,)
+        workers = QUICK_WORKERS
+        num_lscs = QUICK_NUM_LSCS
+    else:
+        populations = POPULATIONS
+        workers = WORKERS
+        num_lscs = NUM_LSCS
+
+    points = []
+    parity_ok = True
+    for count in populations:
+        config = _broadcast_config(count, num_lscs)
+        single = _measure_single(config)
+        sharded = _measure_sharded(config, workers)
+        point_parity = single["digests"] == sharded["digests"]
+        parity_ok = parity_ok and point_parity
+        speedup = (
+            single["wall_clock_s"] / sharded["wall_clock_s"]
+            if sharded["wall_clock_s"] > 0
+            else float("inf")
+        )
+        single.pop("digests")
+        sharded.pop("digests")
+        points.append(
+            {
+                "num_viewers": count,
+                "single": single,
+                "sharded": sharded,
+                "speedup": round(speedup, 2),
+                "placement_parity": point_parity,
+            }
+        )
+        print(
+            f"n={count:>6}: single {single['wall_clock_s']:8.2f}s, "
+            f"sharded[{sharded['workers_used']}w] {sharded['wall_clock_s']:8.2f}s, "
+            f"speedup {speedup:5.2f}x, "
+            f"parity {'ok' if point_parity else 'FAIL'}"
+        )
+        if not point_parity:
+            print(f"FAIL: sharded placement diverged at {count} viewers")
+
+    headline = points[-1]
+    gate_active = cores >= MIN_CORES_FOR_GATE
+    record = {
+        "benchmark": "scale_parallel",
+        "quick": args.quick,
+        "cpu_count": cores,
+        "workers_used": workers,
+        "scenario": (
+            f"telecast broadcast (num_views=1, num_lscs={num_lscs}, "
+            "uncapped CDN), sharded vs single-process"
+        ),
+        "points": points,
+        "headline_speedup": headline["speedup"],
+        "speedup_gate_active": gate_active,
+        "min_speedup": args.min_speedup,
+        "placement_parity": parity_ok,
+    }
+    Path(args.record).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"record written to {args.record}")
+
+    failures = not parity_ok
+    if gate_active:
+        if headline["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: headline speedup {headline['speedup']:.2f}x below "
+                f"required {args.min_speedup:.1f}x on {cores} cores"
+            )
+            failures = True
+        else:
+            print(
+                f"speedup gate: {headline['speedup']:.2f}x >= "
+                f"{args.min_speedup:.1f}x on {cores} cores: ok"
+            )
+    else:
+        print(
+            f"speedup gate: report-only on {cores} core(s) "
+            f"(< {MIN_CORES_FOR_GATE}): measured {headline['speedup']:.2f}x"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,6 +198,51 @@ class InstantDriver(_DriverBase):
         self._timed("churn", started)
 
 
+class ShardedDriver(InstantDriver):
+    """Shard-local instant driver: one worker's slice of a parallel run.
+
+    The third member of the :data:`EVENT_DISPATCH` family.  Inside a
+    shard worker of the parallel engine (:mod:`repro.parallel`) the
+    system holds only that worker's LSCs, and the schedule arrives in
+    *segments* separated by cross-shard barriers (LSC failovers), so the
+    monolithic :meth:`InstantDriver.run` loop is split into resumable
+    pieces:
+
+    * :meth:`apply` -- replay one pre-sorted batch of shard-local events
+      with exact instant-driver semantics,
+    * :meth:`advance` -- move the local simulator clock to a barrier
+      time (the min-timestamp side of the clock-merge rule: every shard
+      aligns to the barrier's timestamp before the cross-shard operation
+      applies),
+    * :meth:`finalize` -- the instant driver's epilogue (data-plane
+      replay slot, final snapshot) once the whole schedule drained.
+
+    ``run(events)`` still works and is byte-identical to
+    :class:`InstantDriver` -- the degenerate single-shard case.
+    """
+
+    def apply(self, events: Sequence[ViewerEvent]) -> None:
+        """Replay one segment of shard-local events (already sorted)."""
+        system = self.system
+        for event in events:
+            system.simulator.run(until=event.time)
+            dispatch_event(self, event)
+
+    def advance(self, until: float) -> None:
+        """Align the shard's simulator clock to a cross-shard barrier."""
+        self.system.simulator.run(until=until)
+
+    def finalize(self):
+        """Finish the run after the last segment; return the metrics."""
+        self._replay_data_plane()
+        self._snapshot()
+        return self.system.metrics
+
+    def run(self, events: Sequence[ViewerEvent]):
+        self.apply(sorted(events, key=event_sort_key))
+        return self.finalize()
+
+
 class EventDrivenSession(_DriverBase):
     """Drive a workload through simulated control messages with latency.
 

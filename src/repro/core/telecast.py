@@ -99,6 +99,7 @@ class TeleCastSystem:
         *,
         num_lscs: int = 1,
         lsc_regions: Optional[Sequence[Sequence[str]]] = None,
+        lsc_ids: Optional[Sequence[str]] = None,
         simulator: Optional[Simulator] = None,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
     ) -> None:
@@ -108,6 +109,11 @@ class TeleCastSystem:
             num_lscs = len(lsc_regions)
         if num_lscs <= 0:
             raise ValueError("num_lscs must be > 0")
+        if lsc_ids is not None and len(lsc_ids) != num_lscs:
+            raise ValueError(
+                f"lsc_ids must name one controller per region group: "
+                f"got {len(lsc_ids)} ids for {num_lscs} groups"
+            )
         self.producers = list(producers)
         self.cdn = cdn
         self.delay_model = delay_model
@@ -128,8 +134,10 @@ class TeleCastSystem:
             ]
         else:
             region_groups = [list(group) for group in lsc_regions]
-        for index, group in enumerate(region_groups):
-            lsc = self.gsc.add_lsc(f"LSC-{index}")
+        if lsc_ids is None:
+            lsc_ids = [f"LSC-{index}" for index in range(len(region_groups))]
+        for lsc_id, group in zip(lsc_ids, region_groups):
+            lsc = self.gsc.add_lsc(lsc_id)
             for region_name in group:
                 self.gsc.add_lsc(lsc.lsc_id, region_name=region_name)
             self._adaptation[lsc.lsc_id] = AdaptationManager(lsc)
@@ -313,6 +321,87 @@ class TeleCastSystem:
             migrated=result.migrated_viewers, lost=result.lost_viewers
         )
         return result
+
+    # -- cross-shard failover halves (repro.parallel) ----------------------------
+    #
+    # Under the shard-parallel engine the failed LSC and its failover
+    # target live in different processes, so :func:`failover_lsc` is split
+    # in two: the owning worker tears the controller down and serializes
+    # its sessions (:meth:`evict_lsc`), the target's worker re-admits them
+    # (:meth:`absorb_failover`).  Together they replicate the
+    # single-process semantics operation for operation -- same session
+    # order, same CDN releases, same detector re-watch -- which is what
+    # the sharded placement-parity golden pins.
+
+    def evict_lsc(self, lsc_id: str, now: float) -> List[Tuple[str, str, float]]:
+        """Tear down a failed LSC locally; return its sessions to migrate.
+
+        Mirrors the owner-side half of
+        :func:`repro.core.recovery.failover_lsc`: CDN reservations of the
+        failed controller are released, its region mappings dropped (the
+        target worker repoints them), and the sessions are returned as
+        ``(viewer_id, view_id, join_time)`` records sorted by
+        ``(join_time, viewer_id)`` -- the order the target re-admits them.
+        """
+        failed = self.gsc.remove_lsc(lsc_id)
+        sessions = sorted(
+            failed.sessions.values(), key=lambda s: (s.join_time, s.viewer_id)
+        )
+        for session in sessions:
+            for sub in session.subscriptions.values():
+                if sub.via_cdn:
+                    self.cdn.release(sub.stream_id, sub.bandwidth_mbps)
+        self.gsc.reassign_regions(lsc_id, None)
+        self._adaptation.pop(lsc_id, None)
+        self._recovery.pop(lsc_id, None)
+        for session in sessions:
+            self._requested.pop(session.viewer_id, None)
+        return [
+            (session.viewer.viewer_id, session.view.view_id, session.join_time)
+            for session in sessions
+        ]
+
+    def absorb_failover(
+        self,
+        target_lsc_id: str,
+        sessions: Sequence[Tuple[str, str, float]],
+        now: float,
+        *,
+        viewers_by_id: Mapping[str, Viewer],
+        views_by_id: Mapping[str, GlobalView],
+        regions: Sequence[str] = (),
+    ) -> FailoverResult:
+        """Re-admit the evicted sessions of a failed remote LSC here.
+
+        The target-side half of a cross-shard failover: ``regions`` (the
+        failed controller's service area) are repointed at the target,
+        every migrated session goes through the target's normal join
+        pipeline in eviction order, accepted viewers are watched by the
+        target's failure detector, and one failover is recorded in the
+        metrics -- exactly what :meth:`fail_lsc` does in-process.
+        """
+        target = self.gsc.lsc(target_lsc_id)
+        for region_name in regions:
+            self.gsc.add_lsc(target_lsc_id, region_name=region_name)
+        detector = self._recovery[target_lsc_id].detector
+        migrated = lost = 0
+        for viewer_id, view_id, _join_time in sessions:
+            result = target.join(viewers_by_id[viewer_id], views_by_id[view_id], now)
+            if result.accepted:
+                migrated += 1
+                self._requested[viewer_id] = result.num_requested
+                if viewer_id not in detector:
+                    detector.watch(viewer_id, now)
+            else:
+                lost += 1
+        self.metrics.record_failover(migrated=migrated, lost=lost)
+        return FailoverResult(
+            failed_lsc_id="",
+            target_lsc_id=target_lsc_id,
+            migrated_viewers=migrated,
+            lost_viewers=lost,
+            reassigned_regions=tuple(regions),
+        )
 
     def refresh_layers(self, now: Optional[float] = None) -> None:
         """Run the periodic delay-layer adaptation on every LSC."""

@@ -151,6 +151,14 @@ def build_run_parser() -> argparse.ArgumentParser:
         "--lscs", type=int, default=3, help="number of region-sharded LSCs"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes of the shard-parallel engine; each group of "
+        "LSCs runs in its own process (requires --system telecast, the "
+        "instant control plane and no data plane)",
+    )
+    parser.add_argument(
         "--views", type=int, default=PAPER_CONFIG.num_views, help="candidate views"
     )
     parser.add_argument(
@@ -254,6 +262,17 @@ def _run_main(argv: List[str]) -> int:
         parser.error("--views must be > 0")
     if args.replay_frames is not None and args.replay_frames < 0:
         parser.error("--replay-frames must be >= 0")
+    if args.shards <= 0:
+        parser.error("--shards must be > 0")
+    if args.shards > 1:
+        if args.system != "telecast":
+            parser.error("--shards requires --system telecast")
+        if args.control_plane != "instant":
+            parser.error("--shards requires --control-plane instant")
+        if args.data_plane:
+            parser.error("--shards cannot run the simulated data plane")
+        if args.replay_frames is not None:
+            parser.error("--shards cannot run the frame replay")
     if args.heartbeat_period <= 0:
         parser.error("--heartbeat-period must be > 0")
     if not (0.0 <= args.loss_rate < 1.0):
@@ -293,6 +312,31 @@ def _run_main(argv: List[str]) -> int:
         print(f"random: {result.final_snapshot.num_viewers} connected, "
               f"acceptance={result.metrics.acceptance_ratio:.4f}, "
               f"{elapsed:.2f}s wall clock")
+        return 0
+
+    if args.shards > 1:
+        from repro.parallel import run_sharded_scenario
+
+        started = _time.perf_counter()
+        sharded = run_sharded_scenario(
+            config.with_(shard_workers=args.shards),
+            snapshot_every=args.snapshot_every,
+            profile=args.profile,
+        )
+        elapsed = _time.perf_counter() - started
+        result = sharded.result
+        snapshot = result.final_snapshot
+        summary = result.metrics.summary()
+        print(
+            f"telecast[{sharded.num_workers} shards]: "
+            f"{snapshot.num_viewers} connected / {snapshot.num_requests} requests, "
+            f"acceptance={summary['acceptance_ratio']:.4f}, "
+            f"cdn={snapshot.cdn_outbound_mbps:.1f}Mbps, "
+            f"clock={sharded.merged_clock:.1f}s, "
+            f"{elapsed:.2f}s wall clock"
+        )
+        if args.profile:
+            print(_format_profile(result.metrics.phase_timings))
         return 0
 
     # TeleCast: keep the system instance so the data plane can replay.
@@ -528,6 +572,11 @@ _SWEEP_IGNORED_FLAGS: Dict[str, Dict[str, str]] = {
         "--viewers": "fixed 2k/5k/10k population points",
         "--step": "fixed 2k/5k/10k population points",
         "--lscs": "pinned to 5 region-sharded LSCs",
+    },
+    "scale100k": {
+        "--viewers": "fixed 20k/50k/100k population points",
+        "--step": "fixed 20k/50k/100k population points",
+        "--lscs": "pinned to 8 region-sharded LSCs",
     },
     "controlplane": {
         "--viewers": "fixed-scale control-plane grid",

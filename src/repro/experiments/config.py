@@ -140,6 +140,14 @@ class ExperimentConfig:
     replay_frames_per_stream: Optional[int] = None
 
     # Performance core.
+    #: Worker processes of the shard-parallel engine (``repro.parallel``):
+    #: each group of LSCs (``lsc_index % workers``) runs its controller,
+    #: stream trees and event loop in its own process, with cross-shard
+    #: failovers resolved at deterministic barriers.  ``None`` or ``1``
+    #: keeps the regular single-process path; values above ``num_lscs``
+    #: are clamped to it.  Requires ``control_plane="instant"`` and
+    #: ``data_plane="off"``.
+    shard_workers: Optional[int] = None
     #: Whether the synthetic latency matrix derives pair delays lazily on
     #: first lookup instead of materializing all O(n^2) pairs up front.
     #: The delays are bit-identical either way; ``None`` (the default)
@@ -170,6 +178,16 @@ class ExperimentConfig:
             raise ValueError(
                 f"data_plane must be 'off' or 'simulated', got {self.data_plane!r}"
             )
+        if self.shard_workers is not None:
+            require_positive(self.shard_workers, "shard_workers")
+            if self.shard_workers > 1 and (
+                self.control_plane != "instant" or self.data_plane != "off"
+            ):
+                raise ValueError(
+                    "shard_workers > 1 requires control_plane='instant' and "
+                    "data_plane='off' (the simulated planes are whole-system "
+                    "event loops)"
+                )
         if not (0.0 <= self.data_loss_rate < 1.0):
             raise ValueError(
                 f"data_loss_rate must be in [0, 1), got {self.data_loss_rate}"

@@ -86,6 +86,9 @@ class ScenarioResult:
     #: Connected viewers per LSC id at the end of the run (TeleCast only;
     #: the Random baseline has no LSC control plane).
     viewers_per_lsc: Dict[str, int] = field(default_factory=dict)
+    #: Per-LSC placement digests, populated by the shard-parallel engine
+    #: (the parity oracle against the single-process run).
+    placement_digests: Dict[str, str] = field(default_factory=dict)
 
     @property
     def acceptance_ratio(self) -> float:
@@ -272,7 +275,27 @@ def run_telecast_scenario(
     With ``profile`` set, per-phase wall-clock times (scenario build,
     join, view_change, churn, replay, metrics) are accumulated into
     ``metrics.phase_timings`` without affecting any recorded metric.
+
+    With ``config.shard_workers`` > 1 the run is delegated to the
+    shard-parallel engine (:mod:`repro.parallel`): each group of LSCs
+    runs in its own worker process and the merged result comes back as
+    the same :class:`ScenarioResult` shape.  Sharded runs rebuild the
+    scenario inside each worker, so a prebuilt ``scenario`` cannot be
+    reused across the process boundary.
     """
+    if config.shard_workers is not None and config.shard_workers > 1:
+        if scenario is not None:
+            raise ValueError(
+                "sharded runs rebuild the scenario per worker; "
+                "a prebuilt scenario cannot be passed with shard_workers > 1"
+            )
+        # Imported lazily: repro.parallel imports this module for the
+        # ScenarioResult shape.
+        from repro.parallel import run_sharded_scenario
+
+        return run_sharded_scenario(
+            config, snapshot_every=snapshot_every, profile=profile
+        ).result
     build_started = time.perf_counter() if profile else 0.0
     if scenario is None:
         scenario = build_scenario(config)

@@ -135,6 +135,43 @@ def scale10k_sweep(
     )
 
 
+#: Populations of the ``scale100k`` preset (the shard-parallel engine's
+#: territory: another order of magnitude past ``scale10k``).
+SCALE100K_POPULATIONS = (20000, 50000, 100000)
+
+
+def scale100k_sweep(
+    base: ExperimentConfig = PAPER_CONFIG,
+    *,
+    num_lscs: int = 8,
+    shard_workers: int = 4,
+) -> SweepSpec:
+    """Scale curve toward the 100k-viewer target of the parallel engine.
+
+    Every point runs on the shard-parallel engine
+    (``shard_workers`` worker processes over ``num_lscs`` LSCs), the
+    lazy latency world (auto above
+    :data:`~repro.experiments.config.LAZY_LATENCY_THRESHOLD` viewers)
+    and the streamed, generator-based workload
+    (:meth:`~repro.traces.workload.ViewerWorkload.iter_events`), so no
+    phase materializes O(n^2) state up front.  TeleCast only, like
+    ``scale10k``.  Run with ``--jobs 1`` (the default): each point
+    already owns the machine's cores through its shard workers, and a
+    daemonic sweep pool could not spawn them anyway.
+    """
+    return SweepSpec(
+        name="scale100k",
+        base=base,
+        points=_scaled_points(
+            base,
+            list(SCALE100K_POPULATIONS),
+            num_lscs=num_lscs,
+            shard_workers=shard_workers,
+        ),
+        systems=("telecast",),
+    )
+
+
 def controlplane_sweep(
     base: ExperimentConfig = PAPER_CONFIG, *, viewers: int = 120, num_lscs: int = 3
 ) -> SweepSpec:
@@ -265,6 +302,7 @@ def named_sweeps(
         "smoke": smoke_sweep(),
         "scale": scale_sweep(max_viewers=viewers, step=step, num_lscs=num_lscs),
         "scale10k": scale10k_sweep(),
+        "scale100k": scale100k_sweep(),
         "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
         "shards": shard_sweep(viewers=viewers),
         "controlplane": controlplane_sweep(),

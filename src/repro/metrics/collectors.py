@@ -248,6 +248,60 @@ class SessionMetrics:
         """Store an instantaneous system snapshot (e.g. every 100 viewers)."""
         self.snapshots.append(snapshot)
 
+    def merge_from(self, other: "SessionMetrics") -> None:
+        """Fold another session's metrics into this one (shard merge).
+
+        The shard-parallel engine (:mod:`repro.parallel`) records metrics
+        per worker and merges them in shard-index order, so the merged
+        object is a deterministic function of the run.  Counters add up;
+        sample series are extended with the other side's retained values
+        (exact below the reservoir cap, where every batch scenario
+        lives, so order-insensitive summaries -- percentiles, means --
+        match a single-process run recording the same sample multiset);
+        snapshots are concatenated (each shard keeps its own
+        ``snapshot_every`` cadence over its own joins).
+        """
+        self.total_requested_streams += other.total_requested_streams
+        self.total_accepted_streams += other.total_accepted_streams
+        self.accepted_requests += other.accepted_requests
+        self.rejected_requests += other.rejected_requests
+        self.sync_dropped_streams += other.sync_dropped_streams
+        self.victim_events += other.victim_events
+        self.recovered_victims += other.recovered_victims
+        self.lost_victim_subscriptions += other.lost_victim_subscriptions
+        self.abrupt_departures += other.abrupt_departures
+        self.repaired_subscriptions_p2p += other.repaired_subscriptions_p2p
+        self.repaired_subscriptions_cdn += other.repaired_subscriptions_cdn
+        self.lost_repair_subscriptions += other.lost_repair_subscriptions
+        self.lsc_failovers += other.lsc_failovers
+        self.failover_migrated_viewers += other.failover_migrated_viewers
+        self.failover_lost_viewers += other.failover_lost_viewers
+        self.join_delays.extend(other.join_delays)
+        self.view_change_delays.extend(other.view_change_delays)
+        self.observed_join_delays.extend(other.observed_join_delays)
+        self.observed_view_change_delays.extend(other.observed_view_change_delays)
+        self.observed_repair_delays.extend(other.observed_repair_delays)
+        self.control_messages_sent += other.control_messages_sent
+        self.control_messages_delivered += other.control_messages_delivered
+        self.stale_control_messages += other.stale_control_messages
+        self.qoe_startup_delays.extend(other.qoe_startup_delays)
+        self.qoe_continuities.extend(other.qoe_continuities)
+        self.qoe_playable_continuities.extend(other.qoe_playable_continuities)
+        self.qoe_skews.extend(other.qoe_skews)
+        self.qoe_playout_skews.extend(other.qoe_playout_skews)
+        if other.qoe_dbuff:
+            self.qoe_dbuff = other.qoe_dbuff
+        self.data_frames_sent += other.data_frames_sent
+        self.data_frames_delivered += other.data_frames_delivered
+        self.data_frames_lost += other.data_frames_lost
+        self.data_frames_late += other.data_frames_late
+        self.data_frames_dropped += other.data_frames_dropped
+        self.observed_layer_adjustments += other.observed_layer_adjustments
+        self.observed_streams_dropped += other.observed_streams_dropped
+        self.snapshots.extend(other.snapshots)
+        for phase, seconds in other.phase_timings.items():
+            self.add_phase_time(phase, seconds)
+
     # -- derived -----------------------------------------------------------------
 
     @property

@@ -1,0 +1,81 @@
+"""Canonical placement digests of a running TeleCast system.
+
+Two systems with byte-identical overlay placement must produce identical
+digests regardless of dict iteration history, process identity or which
+machine computed them -- that property makes the digest the oracle of
+both the snapshot/restore parity tests (:mod:`repro.service`) and the
+shard-parallel parity gate (:mod:`repro.parallel`): a sharded run is
+correct exactly when every LSC's digest matches the same LSC's digest in
+the single-process multi-LSC run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+
+def lsc_placement_edges(lsc) -> List[Tuple]:
+    """Every subscription edge of one LSC as a sorted, canonical tuple list.
+
+    One entry per (viewer, stream) subscription: parent, delay layer, CDN
+    flag and the two delay figures rounded to nanoseconds (so a digest
+    never depends on sub-float-epsilon noise that a different summation
+    order could introduce -- with identical placement the values are
+    bit-identical anyway).
+    """
+    edges: List[Tuple] = []
+    for viewer_id in sorted(lsc.sessions):
+        session = lsc.sessions[viewer_id]
+        for stream_id in sorted(session.subscriptions, key=str):
+            sub = session.subscriptions[stream_id]
+            edges.append(
+                (
+                    lsc.lsc_id,
+                    viewer_id,
+                    str(stream_id),
+                    sub.parent_id,
+                    sub.layer,
+                    bool(sub.via_cdn),
+                    round(sub.end_to_end_delay, 9),
+                    round(sub.effective_delay, 9),
+                )
+            )
+    return edges
+
+
+def _digest(edges: List[Tuple]) -> str:
+    payload = json.dumps(edges, separators=(",", ":")).encode("ascii")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def lsc_placement_digest(lsc) -> str:
+    """SHA-256 digest of one LSC's placement state."""
+    return _digest(lsc_placement_edges(lsc))
+
+
+def per_lsc_placement_digests(system) -> Dict[str, str]:
+    """Placement digest of every registered LSC, keyed by LSC id.
+
+    The unit of comparison of the shard-parallel parity gate: each LSC
+    lives wholly inside one shard, so its digest is computable by the
+    worker hosting it and comparable against the same controller of a
+    single-process run.
+    """
+    return {
+        lsc.lsc_id: lsc_placement_digest(lsc)
+        for lsc in sorted(system.gsc.lscs, key=lambda item: item.lsc_id)
+    }
+
+
+def placement_digest(system) -> str:
+    """One digest over the whole system's placement state.
+
+    Covers every (LSC, viewer, stream) subscription edge in sorted order;
+    the primary oracle of the service snapshot/restore parity tests.
+    """
+    edges: List[Tuple] = []
+    for lsc in sorted(system.gsc.lscs, key=lambda item: item.lsc_id):
+        edges.extend(lsc_placement_edges(lsc))
+    return _digest(edges)

@@ -1,0 +1,285 @@
+"""The shard-parallel coordinator: spawn workers, referee barriers, merge.
+
+The coordinator owns no session state at all.  It spawns one worker
+process per shard (:func:`repro.parallel.worker.run_shard_worker`),
+relays the barrier protocol -- collect one
+:class:`~repro.sim.transport.ShardBarrierAck` per worker per cross-shard
+event, sanity-check that every shard resolved the same failover
+deterministically, broadcast one
+:class:`~repro.sim.transport.ShardResume` carrying the migrated sessions
+-- and merges the per-shard results (metrics, snapshots, placement
+digests, CDN usage) in shard-index order, so the merged record is a
+deterministic function of the seeds.
+
+Clock-merge rule: between barriers every shard's simulator clock runs
+independently (shard-local events commute across shards); at a barrier
+every shard aligns to the barrier event's timestamp before the failover
+applies; the merged run clock is the max over final shard clocks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ScenarioResult
+from repro.metrics.collectors import SessionMetrics, SystemSnapshot
+from repro.parallel.worker import run_shard_worker
+from repro.sim.transport import (
+    ShardBarrierAck,
+    ShardError,
+    ShardReady,
+    ShardResult,
+    ShardResume,
+)
+
+#: Seconds without any worker message before the coordinator declares the
+#: run wedged and tears the workers down.
+DEFAULT_STALL_TIMEOUT = 600.0
+
+
+@dataclass
+class ShardedScenarioResult:
+    """A merged sharded run plus the per-shard detail the gates inspect."""
+
+    result: ScenarioResult
+    num_workers: int
+    #: Final simulator clock of each shard, by shard index.
+    shard_clocks: Dict[int, float] = field(default_factory=dict)
+    #: The merged run clock: ``max`` over the shard clocks.
+    merged_clock: float = 0.0
+    #: Placement digest of every LSC (each lives wholly inside one shard).
+    placement_digests: Dict[str, str] = field(default_factory=dict)
+
+
+def resolve_worker_count(config: ExperimentConfig, num_workers: Optional[int]) -> int:
+    """Effective worker count: bounded by the LSC count (the shard unit)."""
+    requested = num_workers if num_workers is not None else (config.shard_workers or 1)
+    if requested < 1:
+        raise ValueError(f"shard workers must be >= 1, got {requested}")
+    return min(requested, config.num_lscs)
+
+
+def run_sharded_scenario(
+    config: ExperimentConfig,
+    *,
+    num_workers: Optional[int] = None,
+    snapshot_every: Optional[int] = 100,
+    profile: bool = False,
+    mp_start_method: Optional[str] = None,
+    stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+) -> ShardedScenarioResult:
+    """Run one scenario with the LSC shards spread over worker processes.
+
+    Only the instant control plane shards (the simulated control plane
+    and the data plane are whole-system event loops; they stay
+    single-process), so ``config.control_plane`` must be ``"instant"``
+    and ``config.data_plane`` ``"off"``.  Placement parity with the
+    single-process multi-LSC run holds whenever the CDN never saturates
+    (each shard accounts its own CDN reservations; an unsaturated CDN
+    admits identically either way) -- the regime the parity gate pins.
+    """
+    if config.control_plane != "instant":
+        raise ValueError(
+            "the shard-parallel engine requires control_plane='instant' "
+            f"(got {config.control_plane!r}); the simulated control plane "
+            "is a whole-system event loop"
+        )
+    if config.data_plane != "off":
+        raise ValueError(
+            "the shard-parallel engine requires data_plane='off' "
+            f"(got {config.data_plane!r}); the frame replay is a "
+            "whole-system event loop"
+        )
+    workers = resolve_worker_count(config, num_workers)
+    ctx = (
+        multiprocessing.get_context(mp_start_method)
+        if mp_start_method
+        else multiprocessing.get_context()
+    )
+    coord_queue = ctx.Queue()
+    inboxes = [ctx.Queue() for _ in range(workers)]
+    processes = [
+        ctx.Process(
+            target=run_shard_worker,
+            args=(
+                index,
+                workers,
+                config,
+                snapshot_every,
+                profile,
+                inboxes[index],
+                coord_queue,
+            ),
+            name=f"repro-shard-{index}",
+        )
+        for index in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        payload_messages = _coordinate(
+            workers, coord_queue, inboxes, processes, stall_timeout
+        )
+    finally:
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - stuck worker cleanup
+                process.terminate()
+                process.join(timeout=5.0)
+    return _merge(config, workers, payload_messages)
+
+
+def _coordinate(
+    workers: int,
+    coord_queue,
+    inboxes,
+    processes,
+    stall_timeout: float,
+) -> Dict[int, ShardResult]:
+    """Pump the coordinator protocol until every shard reported its result."""
+    results: Dict[int, ShardResult] = {}
+    acks: Dict[int, Dict[int, ShardBarrierAck]] = {}
+    waited = 0.0
+    while len(results) < workers:
+        try:
+            message = coord_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            waited += 1.0
+            dead = [
+                p.name for p in processes if not p.is_alive() and p.exitcode not in (0, None)
+            ]
+            if dead:
+                raise RuntimeError(f"shard worker(s) died: {', '.join(dead)}")
+            if waited >= stall_timeout:
+                raise RuntimeError(
+                    f"sharded run stalled: no worker message for {stall_timeout:.0f}s"
+                )
+            continue
+        waited = 0.0
+        if isinstance(message, ShardError):
+            raise RuntimeError(
+                f"shard {message.shard_index} failed:\n{message.error}"
+            )
+        if isinstance(message, ShardReady):
+            continue
+        if isinstance(message, ShardResult):
+            results[message.shard_index] = message
+            continue
+        if isinstance(message, ShardBarrierAck):
+            per_seq = acks.setdefault(message.barrier_seq, {})
+            per_seq[message.shard_index] = message
+            if len(per_seq) < workers:
+                continue
+            batch = [per_seq[index] for index in sorted(per_seq)]
+            decisions = {(ack.failed_lsc_id, ack.target_lsc_id) for ack in batch}
+            if len(decisions) != 1:  # pragma: no cover - determinism guard
+                raise RuntimeError(
+                    f"shards disagree on failover decision at barrier "
+                    f"{message.barrier_seq}: {sorted(decisions)}"
+                )
+            failed_lsc_id, target_lsc_id = next(iter(decisions))
+            sessions = tuple(
+                record for ack in batch for record in ack.sessions
+            )
+            barrier_time = max(ack.local_clock for ack in batch)
+            for index, inbox in enumerate(inboxes):
+                inbox.put(
+                    ShardResume(
+                        src="coordinator",
+                        dst=f"shard-{index}",
+                        sent_at=barrier_time,
+                        barrier_seq=message.barrier_seq,
+                        barrier_time=barrier_time,
+                        failed_lsc_id=failed_lsc_id,
+                        target_lsc_id=target_lsc_id,
+                        sessions=sessions,
+                    )
+                )
+            continue
+        raise RuntimeError(f"unexpected coordinator message: {message!r}")
+    return results
+
+
+def _merge(
+    config: ExperimentConfig, workers: int, results: Dict[int, ShardResult]
+) -> ShardedScenarioResult:
+    """Fold the per-shard payloads into one result, in shard-index order."""
+    payloads = {
+        index: pickle.loads(results[index].payload) for index in sorted(results)
+    }
+    metrics: Optional[SessionMetrics] = None
+    snapshots: List[SystemSnapshot] = []
+    digests: Dict[str, str] = {}
+    viewers_per_lsc: Dict[str, int] = {}
+    cdn_outbound = 0.0
+    for index in sorted(payloads):
+        payload = payloads[index]
+        if metrics is None:
+            metrics = payload["metrics"]
+        else:
+            metrics.merge_from(payload["metrics"])
+        snapshots.append(payload["final_snapshot"])
+        digests.update(payload["placement_digests"])
+        viewers_per_lsc.update(payload["viewers_per_lsc"])
+        cdn_outbound += payload["cdn_outbound_mbps"]
+    assert metrics is not None
+    if cdn_outbound > config.cdn_capacity_mbps:
+        warnings.warn(
+            "sharded run admitted "
+            f"{cdn_outbound:.1f} Mbps of CDN traffic, over the global "
+            f"{config.cdn_capacity_mbps:.1f} Mbps cap: each shard accounts "
+            "its own CDN reservations, so a saturated CDN admits more "
+            "viewers than the single-process run would. Use "
+            "with_uncapped_cdn() (or a capacity the workload cannot "
+            "saturate) for exact placement parity.",
+            stacklevel=2,
+        )
+    final_snapshot = _merge_snapshots(snapshots, metrics)
+    shard_clocks = {index: results[index].final_clock for index in sorted(results)}
+    result = ScenarioResult(
+        config=config,
+        metrics=metrics,
+        final_snapshot=final_snapshot,
+        cdn_outbound_mbps=cdn_outbound,
+        viewers_per_lsc=viewers_per_lsc,
+        placement_digests=dict(digests),
+    )
+    return ShardedScenarioResult(
+        result=result,
+        num_workers=workers,
+        shard_clocks=shard_clocks,
+        merged_clock=max(shard_clocks.values(), default=0.0),
+        placement_digests=digests,
+    )
+
+
+def _merge_snapshots(
+    snapshots: List[SystemSnapshot], metrics: SessionMetrics
+) -> SystemSnapshot:
+    """Sum the per-shard final snapshots into one global snapshot.
+
+    Viewer populations are disjoint across shards, so the per-viewer
+    dicts union cleanly and the scalar gauges add; the acceptance ratio
+    comes from the merged cumulative counters.
+    """
+    max_layers: Dict[str, int] = {}
+    accepted_counts: Dict[str, int] = {}
+    for snapshot in snapshots:
+        max_layers.update(snapshot.max_layers)
+        accepted_counts.update(snapshot.accepted_stream_counts)
+    return SystemSnapshot(
+        num_viewers=sum(s.num_viewers for s in snapshots),
+        num_requests=sum(s.num_requests for s in snapshots),
+        active_subscriptions=sum(s.active_subscriptions for s in snapshots),
+        cdn_subscriptions=sum(s.cdn_subscriptions for s in snapshots),
+        cdn_outbound_mbps=sum(s.cdn_outbound_mbps for s in snapshots),
+        acceptance_ratio=metrics.acceptance_ratio,
+        max_layers=max_layers,
+        accepted_stream_counts=accepted_counts,
+    )

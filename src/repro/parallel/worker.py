@@ -1,0 +1,250 @@
+"""One shard worker: a group of LSCs running in its own process.
+
+Each worker rebuilds the full scenario deterministically from the
+:class:`~repro.experiments.config.ExperimentConfig` seeds (cheaper and
+safer than pickling a built world across the process boundary -- only
+control messages ever cross it), instantiates a
+:class:`~repro.core.telecast.TeleCastSystem` holding *only its own LSCs*
+under their global ids, and replays the shard-local slice of the
+schedule with exact instant-driver semantics via
+:class:`~repro.core.session.ShardedDriver`.
+
+Event ownership is a pure function every worker computes identically:
+``viewer -> region -> owning LSC -> worker (lsc_index % num_workers)``.
+The one cross-shard operation, ``lsc_fail``, is a barrier: every worker
+aligns its simulator clock to the event's timestamp, the worker hosting
+the failed LSC tears it down (releasing its CDN reservations) and ships
+its sessions -- sorted by ``(join_time, viewer_id)``, the single-process
+failover order -- through the coordinator to the worker hosting the
+nearest surviving LSC, which re-admits them through its normal join
+pipeline.  Afterwards every worker repoints the failed regions at the
+target in its ownership map, so the schedule stays consistently
+partitioned without any shared state.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.session import ShardedDriver, event_sort_key
+from repro.core.telecast import TeleCastSystem
+from repro.metrics.placement import per_lsc_placement_digests
+from repro.sim.transport import (
+    ShardBarrierAck,
+    ShardError,
+    ShardQueueTransport,
+    ShardReady,
+    ShardResult,
+    ShardResume,
+)
+
+#: How long a worker waits on a coordinator resume before giving up.
+DEFAULT_BARRIER_TIMEOUT = 600.0
+
+
+def shard_lsc_indices(num_lscs: int, num_workers: int, worker_index: int) -> List[int]:
+    """The (global) LSC indices hosted by one worker: ``i % num_workers``."""
+    return [i for i in range(num_lscs) if i % num_workers == worker_index]
+
+
+def nearest_surviving_lsc(
+    delay_model, failed_lsc_id: str, alive: Sequence[str]
+) -> Optional[str]:
+    """The failover target every worker computes identically.
+
+    Mirrors :meth:`~repro.core.controllers.GlobalSessionController.nearest_lsc_to`
+    over the *global* set of surviving controllers (a worker's local GSC
+    only knows its own shard): smallest propagation delay from the failed
+    controller's node, ties broken by LSC id.  Delays are derived from
+    seeds, so every process resolves the same target without a vote.
+    """
+    survivors = [lsc_id for lsc_id in alive if lsc_id != failed_lsc_id]
+    if not survivors:
+        return None
+    return min(
+        survivors,
+        key=lambda lsc_id: (delay_model.propagation(failed_lsc_id, lsc_id), lsc_id),
+    )
+
+
+def run_shard_worker(
+    worker_index: int,
+    num_workers: int,
+    config,
+    snapshot_every: Optional[int],
+    profile: bool,
+    inbox,
+    outbox,
+    barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+) -> None:
+    """Process entry point of one shard worker (module-level: picklable)."""
+    transport = ShardQueueTransport(inbox, outbox)
+    try:
+        _run(
+            worker_index,
+            num_workers,
+            config,
+            snapshot_every,
+            profile,
+            transport,
+            barrier_timeout,
+        )
+    except Exception:  # pragma: no cover - surfaced by the coordinator
+        transport.send(
+            ShardError(
+                src=f"shard-{worker_index}",
+                dst="coordinator",
+                sent_at=0.0,
+                shard_index=worker_index,
+                error=traceback.format_exc(),
+            )
+        )
+
+
+def _run(
+    worker_index: int,
+    num_workers: int,
+    config,
+    snapshot_every: Optional[int],
+    profile: bool,
+    transport: ShardQueueTransport,
+    barrier_timeout: float,
+) -> None:
+    # Imported here so a spawn-started worker pays the import once, in
+    # the child, instead of requiring the parent's module state.
+    from repro.experiments.runner import build_scenario
+
+    scenario = build_scenario(config)
+    my_indices = shard_lsc_indices(config.num_lscs, num_workers, worker_index)
+    lsc_ids = [f"LSC-{i}" for i in my_indices]
+    system = TeleCastSystem(
+        scenario.producers,
+        scenario.cdn,
+        scenario.delay_model,
+        config.layer_config(),
+        lsc_regions=[scenario.lsc_regions[i] for i in my_indices],
+        lsc_ids=lsc_ids,
+        heartbeat_timeout=config.heartbeat_timeout,
+    )
+    driver = ShardedDriver(
+        system,
+        scenario.viewers,
+        scenario.views,
+        snapshot_every=snapshot_every,
+        profile=profile,
+    )
+    me = f"shard-{worker_index}"
+    transport.send(
+        ShardReady(
+            src=me,
+            dst="coordinator",
+            sent_at=0.0,
+            shard_index=worker_index,
+            lsc_ids=tuple(lsc_ids),
+        )
+    )
+
+    # Global ownership maps; every worker maintains identical copies and
+    # updates them at the same barriers, so the schedule partition never
+    # needs to be communicated.
+    region_to_lsc: Dict[str, str] = {
+        region: f"LSC-{i}"
+        for i, group in enumerate(scenario.lsc_regions)
+        for region in group
+    }
+    lsc_to_worker = {
+        f"LSC-{i}": i % num_workers for i in range(config.num_lscs)
+    }
+    region_of = {viewer.viewer_id: viewer.region_name for viewer in scenario.viewers}
+    alive = [f"LSC-{i}" for i in range(config.num_lscs)]
+    viewers_by_id = {viewer.viewer_id: viewer for viewer in scenario.viewers}
+    views_by_id = {view.view_id: view for view in scenario.views}
+
+    ordered = sorted(scenario.events, key=event_sort_key)
+    barrier_seq = 0
+    pending: List = []
+    for event in ordered:
+        if event.kind != "lsc_fail":
+            owner_lsc = region_to_lsc.get(region_of[event.viewer_id])
+            if owner_lsc is not None and lsc_to_worker[owner_lsc] == worker_index:
+                pending.append(event)
+            continue
+        failed = event.viewer_id
+        if failed not in alive:
+            # A second crash of an already-failed controller is a no-op in
+            # the single-process driver; every worker skips it identically,
+            # so no barrier round-trip is spent on it.
+            continue
+        driver.apply(pending)
+        pending = []
+        barrier_seq += 1
+        driver.advance(event.time)
+        target = nearest_surviving_lsc(scenario.delay_model, failed, alive)
+        sessions: Tuple[Tuple[str, str, float], ...] = ()
+        if lsc_to_worker[failed] == worker_index:
+            records = system.evict_lsc(failed, event.time)
+            sessions = tuple(records)
+            if target is None:
+                # No survivor anywhere: the owner records the failover the
+                # way the single-process path does (everyone is lost).
+                system.metrics.record_failover(migrated=0, lost=len(records))
+        transport.send(
+            ShardBarrierAck(
+                src=me,
+                dst="coordinator",
+                sent_at=system.simulator.now,
+                shard_index=worker_index,
+                barrier_seq=barrier_seq,
+                local_clock=system.simulator.now,
+                failed_lsc_id=failed,
+                target_lsc_id=target or "",
+                sessions=sessions,
+            )
+        )
+        resume = transport.recv(timeout=barrier_timeout)
+        if not isinstance(resume, ShardResume) or resume.barrier_seq != barrier_seq:
+            raise RuntimeError(
+                f"shard {worker_index}: expected resume for barrier "
+                f"{barrier_seq}, got {resume!r}"
+            )
+        reassigned = sorted(
+            region for region, lsc_id in region_to_lsc.items() if lsc_id == failed
+        )
+        if target is not None and lsc_to_worker[target] == worker_index:
+            system.absorb_failover(
+                target,
+                resume.sessions,
+                event.time,
+                viewers_by_id=viewers_by_id,
+                views_by_id=views_by_id,
+                regions=reassigned,
+            )
+        for region in reassigned:
+            if target is None:
+                del region_to_lsc[region]
+            else:
+                region_to_lsc[region] = target
+        alive.remove(failed)
+    driver.apply(pending)
+    metrics = driver.finalize()
+    payload = pickle.dumps(
+        {
+            "metrics": metrics,
+            "final_snapshot": system.snapshot(),
+            "placement_digests": per_lsc_placement_digests(system),
+            "cdn_outbound_mbps": scenario.cdn.used_outbound_mbps,
+            "viewers_per_lsc": system.viewers_per_lsc(),
+        }
+    )
+    transport.send(
+        ShardResult(
+            src=me,
+            dst="coordinator",
+            sent_at=system.simulator.now,
+            shard_index=worker_index,
+            final_clock=system.simulator.now,
+            payload=payload,
+        )
+    )

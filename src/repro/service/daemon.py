@@ -25,7 +25,6 @@ being handled.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import selectors
@@ -39,6 +38,7 @@ from repro.core.dataplane import DataPlaneConfig, SimulatedDataPlane
 from repro.core.session import EventDrivenSession
 from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
 from repro.experiments.runner import Scenario, build_scenario, build_telecast_system
+from repro.metrics.placement import placement_digest
 from repro.scenarios.invariants import INVARIANTS, check_invariants
 from repro.service import protocol
 from repro.service.metrics_export import (
@@ -177,35 +177,6 @@ class ServiceState:
         self.ops_applied[kind] = self.ops_applied.get(kind, 0) + 1
 
 
-def placement_digest(system) -> str:
-    """Canonical SHA-256 digest of the overlay placement state.
-
-    Covers every (LSC, viewer, stream) subscription edge with its
-    parent, layer, CDN flag and delays, in sorted order -- two systems
-    with byte-identical placement produce the same digest regardless of
-    dict iteration history or process identity.  This is the primary
-    oracle of the snapshot/restore parity tests.
-    """
-    edges: List[Tuple] = []
-    for lsc in sorted(system.gsc.lscs, key=lambda item: item.lsc_id):
-        for viewer_id in sorted(lsc.sessions):
-            session = lsc.sessions[viewer_id]
-            for stream_id in sorted(session.subscriptions, key=str):
-                sub = session.subscriptions[stream_id]
-                edges.append(
-                    (
-                        lsc.lsc_id,
-                        viewer_id,
-                        str(stream_id),
-                        sub.parent_id,
-                        sub.layer,
-                        bool(sub.via_cdn),
-                        round(sub.end_to_end_delay, 9),
-                        round(sub.effective_delay, 9),
-                    )
-                )
-    payload = json.dumps(edges, separators=(",", ":")).encode("ascii")
-    return hashlib.sha256(payload).hexdigest()
 
 
 @dataclass(frozen=True)

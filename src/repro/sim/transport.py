@@ -120,6 +120,120 @@ class RepairNotify(ControlMessage):
     repaired_subscriptions: int
 
 
+# -- shard-coordination plane (cross-process control traffic) -----------------
+#
+# The shard-parallel engine (:mod:`repro.parallel`) runs each group of
+# LSCs in its own worker process; everything that crosses a process
+# boundary is one of the typed messages below, pickled over a
+# multiprocessing queue by :class:`ShardQueueTransport`.  Like the rest of
+# the control plane they are frozen keyword-only dataclasses, so adding an
+# unpicklable field is caught by the round-trip test suite.
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardReady(ControlMessage):
+    """Worker -> coordinator: substrates rebuilt, shard event loop entered."""
+
+    shard_index: int
+    lsc_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardBarrierAck(ControlMessage):
+    """Worker -> coordinator: this shard reached a cross-shard barrier.
+
+    Every worker sends exactly one ack per barrier, carrying its local
+    simulator clock (the coordinator's clock-merge rule takes the max)
+    and its view of the failover decision.  The worker hosting the failed
+    LSC additionally attaches the serialized sessions to migrate, sorted
+    by ``(join_time, viewer_id)`` -- the exact order the single-process
+    :func:`repro.core.recovery.failover_lsc` re-admits them in.
+    """
+
+    shard_index: int
+    barrier_seq: int
+    local_clock: float
+    failed_lsc_id: str
+    target_lsc_id: str  # "" when no LSC survives
+    #: ``(viewer_id, view_id, join_time)`` per migrated session.
+    sessions: Tuple[Tuple[str, str, float], ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardResume(ControlMessage):
+    """Coordinator -> every worker: barrier complete, continue the schedule.
+
+    Carries the migrated sessions collected from the failed shard; only
+    the worker hosting the target LSC applies them, every other worker
+    just repoints its region-ownership map and resumes.
+    """
+
+    barrier_seq: int
+    barrier_time: float
+    failed_lsc_id: str
+    target_lsc_id: str
+    sessions: Tuple[Tuple[str, str, float], ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardResult(ControlMessage):
+    """Worker -> coordinator: shard schedule drained, final state attached.
+
+    ``payload`` is an opaque pickle (metrics, placement digests, CDN
+    usage) -- kept as bytes so the message itself stays a flat, cheaply
+    picklable record and the round-trip tests can compare it
+    byte-identically.
+    """
+
+    shard_index: int
+    final_clock: float
+    payload: bytes
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardError(ControlMessage):
+    """Worker -> coordinator: the shard died; traceback attached."""
+
+    shard_index: int
+    error: str
+
+
+class ShardQueueTransport:
+    """Cross-process :class:`ControlMessage` transport over two queues.
+
+    The picklable counterpart of :class:`ControlChannel`: where the
+    in-process channel schedules deliveries on the simulator with
+    latency, this transport moves already-serialized control messages
+    between the shard workers and the coordinator of the parallel engine
+    (:mod:`repro.parallel`).  ``inbox``/``outbox`` are
+    ``multiprocessing.Queue`` objects (or anything with the same
+    ``put``/``get`` API); only :class:`ControlMessage` instances may
+    travel, which keeps the process boundary typed and testable.
+    """
+
+    def __init__(self, inbox, outbox) -> None:
+        self.inbox = inbox
+        self.outbox = outbox
+        self.sent = 0
+        self.received = 0
+
+    def send(self, message: ControlMessage) -> None:
+        """Enqueue one message for the peer (pickled by the queue)."""
+        if not isinstance(message, ControlMessage):
+            raise TypeError(
+                f"only ControlMessages cross the shard boundary, "
+                f"got {type(message).__name__}"
+            )
+        self.outbox.put(message)
+        self.sent += 1
+
+    def recv(self, timeout: Optional[float] = None) -> ControlMessage:
+        """Dequeue the next message from the peer (blocks up to ``timeout``)."""
+        message = self.inbox.get(timeout=timeout) if timeout else self.inbox.get()
+        self.received += 1
+        return message
+
+
 class ControlChannel:
     """Schedules typed control messages on the simulator with latency.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.viewer import Viewer
 from repro.sim.rng import SeededRandom
@@ -182,24 +182,55 @@ class ViewerWorkload:
         rate configured, all joins happen at time 0 -- the simultaneous
         flash-crowd arrival the paper calls out as a target scenario.
         """
+        return list(self.iter_events(viewers))
+
+    def iter_events(
+        self, viewers: Optional[Sequence[Viewer]] = None
+    ) -> Iterator[ViewerEvent]:
+        """Stream the schedule in sorted order without materializing it.
+
+        Yields exactly the sequence :meth:`events` returns (same RNG
+        consumption, same ``(time, viewer_id, kind)`` order), but holds
+        only a bounded reorder buffer: per-viewer follow-up events
+        (view changes, departures) fire after later viewers' joins, so
+        they are heap-buffered until no earlier-sorting event can still
+        be generated -- join times are non-decreasing and viewer ids
+        increase, so everything sorting strictly before the next join's
+        key is safe to emit.  A churn-free 100k-viewer schedule streams
+        in O(1) memory; churn only buffers the in-flight sessions.
+        """
         cfg = self.config
         if viewers is None:
             viewers = self.viewers()
         rng = self._rng.fork(2)
-        events: List[ViewerEvent] = []
+        # Heap of (time, viewer_id, kind, event); a viewer emits at most
+        # one event of each kind, so the key triple is unique and the
+        # ViewerEvent itself is never compared.
+        buffered: List[Tuple[float, str, str, ViewerEvent]] = []
 
         join_time = 0.0
         for viewer in viewers:
             if cfg.arrival_rate_per_second:
                 join_time += rng.poisson_interarrival(cfg.arrival_rate_per_second)
+            # Every event generated from here on sorts at or after
+            # (join_time, viewer.viewer_id): follow-up times are bounded
+            # below by their own viewer's join time, and ids increase.
+            while buffered and buffered[0][:2] < (join_time, viewer.viewer_id):
+                yield heapq.heappop(buffered)[3]
             view_index = self._pick_view(rng)
-            events.append(
-                ViewerEvent(
-                    time=join_time,
-                    kind="join",
-                    viewer_id=viewer.viewer_id,
-                    view_index=view_index,
-                )
+            heapq.heappush(
+                buffered,
+                (
+                    join_time,
+                    viewer.viewer_id,
+                    "join",
+                    ViewerEvent(
+                        time=join_time,
+                        kind="join",
+                        viewer_id=viewer.viewer_id,
+                        view_index=view_index,
+                    ),
+                ),
             )
             horizon_start = join_time
             if cfg.view_change_probability > 0 and rng.random() < cfg.view_change_probability:
@@ -210,28 +241,40 @@ class ViewerWorkload:
                 if cfg.num_views > 1:
                     while new_view == view_index:
                         new_view = self._pick_view(rng)
-                events.append(
-                    ViewerEvent(
-                        time=change_time,
-                        kind="view_change",
-                        viewer_id=viewer.viewer_id,
-                        view_index=new_view,
-                    )
+                heapq.heappush(
+                    buffered,
+                    (
+                        change_time,
+                        viewer.viewer_id,
+                        "view_change",
+                        ViewerEvent(
+                            time=change_time,
+                            kind="view_change",
+                            viewer_id=viewer.viewer_id,
+                            view_index=new_view,
+                        ),
+                    ),
                 )
                 horizon_start = change_time
             if cfg.departure_probability > 0 and rng.random() < cfg.departure_probability:
                 depart_time = horizon_start + rng.uniform(
                     0.0, max(1e-9, cfg.session_duration - horizon_start)
                 )
-                events.append(
-                    ViewerEvent(
-                        time=depart_time,
-                        kind="depart",
-                        viewer_id=viewer.viewer_id,
-                    )
+                heapq.heappush(
+                    buffered,
+                    (
+                        depart_time,
+                        viewer.viewer_id,
+                        "depart",
+                        ViewerEvent(
+                            time=depart_time,
+                            kind="depart",
+                            viewer_id=viewer.viewer_id,
+                        ),
+                    ),
                 )
-        events.sort(key=lambda event: (event.time, event.viewer_id, event.kind))
-        return events
+        while buffered:
+            yield heapq.heappop(buffered)[3]
 
     def _pick_view(self, rng: SeededRandom) -> int:
         cfg = self.config

@@ -9,6 +9,8 @@ of a copy per test file.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.layering import DelayLayerConfig
@@ -26,6 +28,24 @@ from repro.scenarios.invariants import (
 )
 from repro.sim.rng import SeededRandom
 from repro.traces.workload import ChurnConfig
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``parallel``-marked tests where process fan-out cannot help.
+
+    The shard-parallel suite spawns real worker processes; on a
+    single-CPU machine that only proves slowness, so it is skipped
+    unless ``REPRO_FORCE_PARALLEL=1`` forces it (the parity tests are
+    still correct there -- just slow).
+    """
+    if (os.cpu_count() or 1) >= 2 or os.environ.get("REPRO_FORCE_PARALLEL") == "1":
+        return
+    skip = pytest.mark.skip(
+        reason="single-CPU machine; set REPRO_FORCE_PARALLEL=1 to run anyway"
+    )
+    for item in items:
+        if "parallel" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

@@ -1,0 +1,136 @@
+"""Process-free unit coverage of the shard-parallel engine.
+
+Everything here runs in a single process (no worker spawn), so it is not
+``parallel``-marked: shard math, config validation, the degenerate
+single-shard driver, and the streamed workload generator the 100k sweep
+preset rides on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.session import InstantDriver, ShardedDriver
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_scenario,
+    build_telecast_system,
+    run_telecast_scenario,
+)
+from repro.metrics.placement import (
+    lsc_placement_digest,
+    per_lsc_placement_digests,
+    placement_digest,
+)
+from repro.parallel.runner import resolve_worker_count, run_sharded_scenario
+from repro.parallel.worker import nearest_surviving_lsc, shard_lsc_indices
+from repro.sim.rng import SeededRandom
+from repro.traces.workload import ViewerWorkload, WorkloadConfig
+
+
+def test_shard_lsc_indices_partition_all_lscs():
+    num_lscs, workers = 7, 3
+    slices = [shard_lsc_indices(num_lscs, workers, w) for w in range(workers)]
+    flat = sorted(index for piece in slices for index in piece)
+    assert flat == list(range(num_lscs))
+    assert shard_lsc_indices(7, 3, 0) == [0, 3, 6]
+
+
+def test_resolve_worker_count_clamps_to_lscs():
+    config = ExperimentConfig(num_viewers=10, num_lscs=3)
+    assert resolve_worker_count(config, 8) == 3
+    assert resolve_worker_count(config, None) == 1
+    assert resolve_worker_count(dataclasses.replace(config, shard_workers=2), None) == 2
+    with pytest.raises(ValueError):
+        resolve_worker_count(config, 0)
+
+
+def test_nearest_surviving_lsc_matches_gsc_tiebreak():
+    class FlatDelays:
+        def propagation(self, a, b):
+            return 1.0  # all equal: the id tie-break decides
+
+    assert nearest_surviving_lsc(FlatDelays(), "LSC-1", ["LSC-0", "LSC-1", "LSC-2"]) == "LSC-0"
+    assert nearest_surviving_lsc(FlatDelays(), "LSC-0", ["LSC-0"]) is None
+
+
+def test_config_rejects_sharding_simulated_planes():
+    with pytest.raises(ValueError, match="shard_workers"):
+        ExperimentConfig(num_viewers=10, shard_workers=2, control_plane="simulated")
+    with pytest.raises(ValueError, match="shard_workers"):
+        ExperimentConfig(num_viewers=10, shard_workers=2, data_plane="simulated")
+    # One worker is the regular path and composes with any plane.
+    ExperimentConfig(num_viewers=10, shard_workers=1, control_plane="simulated")
+
+
+def test_runner_rejects_simulated_planes():
+    config = ExperimentConfig(num_viewers=10, num_lscs=2, control_plane="simulated")
+    with pytest.raises(ValueError, match="instant"):
+        run_sharded_scenario(config, num_workers=2)
+
+
+def test_runner_rejects_prebuilt_scenario():
+    config = dataclasses.replace(
+        ExperimentConfig(num_viewers=10, num_lscs=2), shard_workers=2
+    )
+    scenario = build_scenario(config)
+    with pytest.raises(ValueError, match="prebuilt"):
+        run_telecast_scenario(config, scenario=scenario)
+
+
+def test_sharded_driver_degenerate_case_matches_instant_driver():
+    """With all LSCs in one shard, ShardedDriver.run == InstantDriver.run."""
+    config = ExperimentConfig(num_viewers=120, num_views=4, num_lscs=3)
+    results = []
+    for driver_class in (InstantDriver, ShardedDriver):
+        scenario = build_scenario(config)
+        system = build_telecast_system(scenario)
+        driver = driver_class(
+            system, scenario.viewers, scenario.views, snapshot_every=None
+        )
+        driver.run(scenario.events)
+        results.append(
+            (per_lsc_placement_digests(system), system.metrics.summary())
+        )
+    assert results[0] == results[1]
+
+
+def test_placement_digest_helpers_are_consistent():
+    config = ExperimentConfig(num_viewers=60, num_views=4, num_lscs=2)
+    scenario = build_scenario(config)
+    system = build_telecast_system(scenario)
+    system.run_workload(
+        scenario.viewers, scenario.events, scenario.views, snapshot_every=None
+    )
+    per_lsc = per_lsc_placement_digests(system)
+    assert set(per_lsc) == {"LSC-0", "LSC-1"}
+    for lsc in system.gsc.lscs:
+        assert per_lsc[lsc.lsc_id] == lsc_placement_digest(lsc)
+    assert placement_digest(system)  # whole-system digest stays available
+
+
+def test_iter_events_streams_the_exact_event_sequence():
+    config = WorkloadConfig(
+        num_viewers=250,
+        num_views=5,
+        arrival_rate_per_second=10.0,
+        view_change_probability=0.4,
+        departure_probability=0.3,
+    )
+    eager = ViewerWorkload(config, rng=SeededRandom(7))
+    lazy = ViewerWorkload(config, rng=SeededRandom(7))
+    viewers = eager.viewers()
+    assert eager.events(viewers) == list(lazy.iter_events(lazy.viewers()))
+
+
+def test_iter_events_flash_crowd_buffers_one_join_at_a_time():
+    config = WorkloadConfig(num_viewers=50)
+    workload = ViewerWorkload(config, rng=SeededRandom(3))
+    stream = workload.iter_events()
+    first = next(stream)
+    assert first.kind == "join"
+    assert first.viewer_id == "viewer-00000"
+    rest = list(stream)
+    assert len(rest) == 49

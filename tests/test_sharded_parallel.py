@@ -1,0 +1,138 @@
+"""Parity and determinism gates of the shard-parallel engine.
+
+The engine's contract is exact: process parallelism may change
+wall-clock time only.  Same-seed shard-local joins are byte-identical to
+the single-process multi-LSC run (per-LSC placement digests), cross-shard
+failovers resolve identically under the documented clock-merge rule, and
+the merged metrics equal the single-process metrics.  Parity is pinned
+in the regime the engine documents: uncapped CDN (per-shard CDN
+accounting matches exactly when the CDN never saturates) and end-only
+snapshots (the snapshot cadence is per-shard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    build_scenario,
+    build_telecast_system,
+    run_telecast_scenario,
+)
+from repro.metrics.placement import per_lsc_placement_digests
+from repro.parallel import run_sharded_scenario
+from repro.traces.workload import ChurnConfig, OutageConfig
+
+pytestmark = pytest.mark.parallel
+
+BASE = ExperimentConfig(num_viewers=300, num_views=6, num_lscs=4).with_uncapped_cdn()
+
+OUTAGE = dataclasses.replace(
+    ExperimentConfig(num_viewers=400, num_views=8, num_lscs=4).with_uncapped_cdn(),
+    outage=OutageConfig(time=5.0, lsc_index=1, viewer_fraction=0.4),
+)
+
+CHURN = dataclasses.replace(
+    ExperimentConfig(num_viewers=300, num_views=6, num_lscs=4).with_uncapped_cdn(),
+    churn=ChurnConfig(failure_rate_per_second=0.05, rejoin_probability=0.5),
+)
+
+
+def _single_process_reference(config):
+    """Digests + metric summary of the regular single-process run."""
+    scenario = build_scenario(config)
+    system = build_telecast_system(scenario)
+    metrics = system.run_workload(
+        scenario.viewers, scenario.events, scenario.views, snapshot_every=None
+    )
+    return per_lsc_placement_digests(system), metrics.summary(), system.snapshot()
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_sharded_placement_parity(workers):
+    digests, summary, snapshot = _single_process_reference(BASE)
+    sharded = run_sharded_scenario(
+        dataclasses.replace(BASE, shard_workers=workers), snapshot_every=None
+    )
+    assert sharded.num_workers == workers
+    assert sharded.placement_digests == digests
+    assert sharded.result.metrics.summary() == summary
+    merged = sharded.result.final_snapshot
+    assert merged.num_viewers == snapshot.num_viewers
+    assert merged.num_requests == snapshot.num_requests
+    assert merged.active_subscriptions == snapshot.active_subscriptions
+    assert merged.cdn_subscriptions == snapshot.cdn_subscriptions
+    assert merged.acceptance_ratio == snapshot.acceptance_ratio
+
+
+def test_sharded_outage_parity():
+    """The lsc_fail barrier migrates exactly like the single-process path."""
+    digests, summary, _snapshot = _single_process_reference(OUTAGE)
+    assert summary["lsc_failovers"] == 1
+    assert summary["failover_migrated_viewers"] > 0
+    sharded = run_sharded_scenario(
+        dataclasses.replace(OUTAGE, shard_workers=2), snapshot_every=None
+    )
+    assert sharded.placement_digests == digests
+    assert sharded.result.metrics.summary() == summary
+
+
+def test_sharded_churn_parity():
+    """Poisson failures and rejoins replay identically inside shards."""
+    digests, summary, _snapshot = _single_process_reference(CHURN)
+    sharded = run_sharded_scenario(
+        dataclasses.replace(CHURN, shard_workers=3), snapshot_every=None
+    )
+    assert sharded.placement_digests == digests
+    assert sharded.result.metrics.summary() == summary
+
+
+def test_sharded_run_is_deterministic():
+    """Two same-seed sharded runs are identical, digests and clocks."""
+    config = dataclasses.replace(OUTAGE, shard_workers=2)
+    first = run_sharded_scenario(config, snapshot_every=None)
+    second = run_sharded_scenario(config, snapshot_every=None)
+    assert first.placement_digests == second.placement_digests
+    assert first.result.metrics.summary() == second.result.metrics.summary()
+    assert first.shard_clocks == second.shard_clocks
+    assert first.merged_clock == second.merged_clock
+
+
+def test_run_telecast_scenario_delegates_to_sharded_engine():
+    """shard_workers in the config routes the normal entry point."""
+    reference = run_telecast_scenario(BASE, snapshot_every=None)
+    delegated = run_telecast_scenario(
+        dataclasses.replace(BASE, shard_workers=2), snapshot_every=None
+    )
+    assert delegated.metrics.summary() == reference.metrics.summary()
+    assert delegated.placement_digests  # populated only by the engine
+    assert delegated.viewers_per_lsc == reference.viewers_per_lsc
+
+
+def test_saturated_cdn_warns_about_parity():
+    """A config the shards over-admit against the global cap warns loudly."""
+    capped = ExperimentConfig(
+        num_viewers=300, num_views=6, num_lscs=4, cdn_capacity_mbps=100.0
+    )
+    with pytest.warns(UserWarning, match="over the global"):
+        run_sharded_scenario(
+            dataclasses.replace(capped, shard_workers=2), snapshot_every=None
+        )
+
+
+def test_unsaturated_cdn_does_not_warn(recwarn):
+    run_sharded_scenario(
+        dataclasses.replace(BASE, shard_workers=2), snapshot_every=None
+    )
+    assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+
+def test_merged_clock_is_max_over_shards():
+    config = dataclasses.replace(OUTAGE, shard_workers=2)
+    sharded = run_sharded_scenario(config, snapshot_every=None)
+    assert sharded.merged_clock == max(sharded.shard_clocks.values())
+    # Every shard advanced at least to the outage barrier.
+    assert all(clock >= OUTAGE.outage.time for clock in sharded.shard_clocks.values())

@@ -341,6 +341,7 @@ class TestPresets:
             "smoke",
             "scale",
             "scale10k",
+            "scale100k",
             "bandwidth",
             "shards",
             "controlplane",
