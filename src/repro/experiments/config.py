@@ -22,6 +22,7 @@ Choices the paper leaves open (documented here and in DESIGN.md):
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
@@ -188,6 +189,18 @@ class ExperimentConfig:
                     "data_plane='off' (the simulated planes are whole-system "
                     "event loops)"
                 )
+            if self.shard_workers > self.num_lscs:
+                # A worker beyond the LSC count would own an empty shard
+                # (shard_lsc_indices returns []); clamp here so the
+                # docstring's promise holds at construction time instead
+                # of every consumer re-deriving it.
+                warnings.warn(
+                    f"shard_workers={self.shard_workers} exceeds "
+                    f"num_lscs={self.num_lscs}; clamping to {self.num_lscs} "
+                    "(the LSC is the shard unit, extra workers would idle)",
+                    stacklevel=2,
+                )
+                object.__setattr__(self, "shard_workers", self.num_lscs)
         if not (0.0 <= self.data_loss_rate < 1.0):
             raise ValueError(
                 f"data_loss_rate must be in [0, 1), got {self.data_loss_rate}"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baselines.random_routing import RandomDisseminationSystem
 from repro.core.telecast import TeleCastSystem, build_views
@@ -34,6 +34,7 @@ from repro.net.planetlab import (
     DEFAULT_REGION_NAMES,
     PlanetLabTraceConfig,
     generate_planetlab_matrix,
+    node_region_indices,
 )
 from repro.net.regions import shard_regions
 from repro.sim.rng import SeededRandom
@@ -100,8 +101,8 @@ class ScenarioResult:
         return list(self.metrics.snapshots)
 
 
-def _build_workload(config: ExperimentConfig):
-    workload_config = WorkloadConfig(
+def _workload_config(config: ExperimentConfig) -> WorkloadConfig:
+    return WorkloadConfig(
         num_viewers=config.num_viewers,
         outbound=config.outbound,
         inbound_mbps=config.inbound_mbps,
@@ -114,7 +115,10 @@ def _build_workload(config: ExperimentConfig):
         buffer_duration=config.buffer_duration,
         cache_duration=config.cache_duration,
     )
-    workload = ViewerWorkload(workload_config, rng=SeededRandom(config.seed))
+
+
+def _build_workload(config: ExperimentConfig):
+    workload = ViewerWorkload(_workload_config(config), rng=SeededRandom(config.seed))
     viewers = workload.viewers()
     events = workload.events(viewers)
     if config.churn is not None:
@@ -170,7 +174,335 @@ def _region_names_for(config: ExperimentConfig) -> Sequence[str]:
     return tuple(f"geo-{index}" for index in range(config.num_lscs))
 
 
-def build_scenario(config: ExperimentConfig) -> Scenario:
+@dataclass(frozen=True)
+class ShardSelection:
+    """Which shard of an LSC-sharded run a projected build is for.
+
+    ``build_scenario(config, shard=...)`` with a selection builds only
+    the viewers, events and latency nodes owned by the worker's LSC
+    group (ownership: ``viewer -> region -> LSC -> lsc_index %
+    num_workers``), turning per-worker startup from O(n) into O(n/k).
+    """
+
+    num_workers: int
+    worker_index: int
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not (0 <= self.worker_index < self.num_workers):
+            raise ValueError(
+                f"worker_index must be in [0, {self.num_workers}), "
+                f"got {self.worker_index}"
+            )
+
+
+class _OwnershipTimeline:
+    """Event ownership as a pure function of the config seeds.
+
+    Mirrors the ownership maps every shard worker maintains: a region is
+    owned by the LSC of its shard group until that LSC fails, after
+    which it is owned by the nearest surviving LSC (the same failover
+    target the workers resolve at the barrier).  The transition applies
+    to every event sorting strictly after the ``lsc_fail`` event's
+    ``(time, "LSC-i")`` key -- exactly where the workers repoint their
+    maps in the sorted replay.
+    """
+
+    def __init__(self, config: ExperimentConfig, region_names: Sequence[str]):
+        lsc_regions = shard_regions(region_names, config.num_lscs)
+        self.lsc_regions = lsc_regions
+        self.region_to_lsc_index = {
+            region: index
+            for index, group in enumerate(lsc_regions)
+            for region in group
+        }
+        self.failed_index: Optional[int] = None
+        self.target_index: Optional[int] = None
+        self.transition_key: Optional[Tuple[float, str]] = None
+        if config.outage is None:
+            return
+        failed_index = config.outage.lsc_index % len(lsc_regions)
+        failed_id = f"LSC-{failed_index}"
+        # The failover target is derived from the control-node delays
+        # alone; delays are composition-independent, so this tiny lazy
+        # matrix resolves the same target as any worker's full world.
+        control_nodes = (
+            ["GSC"] + [f"LSC-{i}" for i in range(config.num_lscs)] + ["CDN"]
+        )
+        control_matrix = generate_planetlab_matrix(
+            control_nodes,
+            rng=SeededRandom(config.latency_seed),
+            config=PlanetLabTraceConfig(region_names=region_names),
+            lazy=True,
+        )
+        control_model = DelayModel(control_matrix)
+        # Imported lazily: repro.parallel imports this module.
+        from repro.parallel.worker import nearest_surviving_lsc
+
+        alive = [f"LSC-{i}" for i in range(config.num_lscs)]
+        target_id = nearest_surviving_lsc(control_model, failed_id, alive)
+        self.failed_index = failed_index
+        self.target_index = (
+            int(target_id.rsplit("-", 1)[1]) if target_id is not None else None
+        )
+        self.transition_key = (config.outage.time, failed_id)
+
+    def owner_lsc_index(self, region: str, sort_key: Tuple[float, str]) -> Optional[int]:
+        """Owning LSC index of a region at one event's sort key."""
+        index = self.region_to_lsc_index.get(region)
+        if index is None:
+            return None
+        if (
+            self.transition_key is not None
+            and index == self.failed_index
+            and sort_key > self.transition_key
+        ):
+            return self.target_index
+        return index
+
+    def ever_owned_regions(self, num_workers: int, worker_index: int) -> set:
+        """Regions owned by one worker at any point in the timeline."""
+        owned = {
+            region
+            for region, index in self.region_to_lsc_index.items()
+            if index % num_workers == worker_index
+        }
+        if (
+            self.target_index is not None
+            and self.failed_index is not None
+            and self.target_index % num_workers == worker_index
+        ):
+            owned.update(self.lsc_regions[self.failed_index])
+        return owned
+
+
+def _project_outage_events(
+    events: Iterable[ViewerEvent],
+    outage: OutageConfig,
+    timeline: _OwnershipTimeline,
+    region_of_viewer,
+    keep,
+) -> List[ViewerEvent]:
+    """Stream-inject the regional outage and filter by ownership.
+
+    One pass over a time-ordered event stream that replicates
+    :func:`_inject_outage` exactly without materializing the full
+    schedule: connected viewers of the failed LSC's regions are tracked
+    until the first event at or after the outage instant (the
+    ``alive_before`` cut), and the injected block -- the ``lsc_fail``
+    then the sampled victims' ``fail`` events -- is emitted after the
+    last base event with ``time <= outage.time``, which is where the
+    full path's stable time sort places it.  Every emitted event then
+    passes the ownership predicate (``lsc_fail`` barriers reach every
+    worker unconditionally).
+    """
+    assert timeline.failed_index is not None
+    failed_regions = set(timeline.lsc_regions[timeline.failed_index])
+    failed_id = f"LSC-{timeline.failed_index}"
+    alive_in_failed: set = set()
+    candidates: Optional[List[str]] = None
+    injected_done = False
+    out: List[ViewerEvent] = []
+
+    def injected_block() -> List[ViewerEvent]:
+        assert candidates is not None
+        count = int(round(outage.viewer_fraction * len(candidates)))
+        rng = SeededRandom(outage.seed)
+        victims = sorted(rng.sample(candidates, min(count, len(candidates))))
+        block = [
+            ViewerEvent(time=outage.time, kind="lsc_fail", viewer_id=failed_id)
+        ]
+        block.extend(
+            ViewerEvent(time=outage.time, kind="fail", viewer_id=victim)
+            for victim in victims
+        )
+        return [event for event in block if keep(event)]
+
+    for event in events:
+        if candidates is None and event.time >= outage.time:
+            candidates = sorted(alive_in_failed)
+        if not injected_done and event.time > outage.time:
+            out.extend(injected_block())
+            injected_done = True
+        if candidates is None and event.kind != "lsc_fail":
+            if event.kind == "join":
+                if region_of_viewer(event.viewer_id) in failed_regions:
+                    alive_in_failed.add(event.viewer_id)
+            elif event.kind in ("depart", "fail"):
+                alive_in_failed.discard(event.viewer_id)
+        if keep(event):
+            out.append(event)
+    if candidates is None:
+        candidates = sorted(alive_in_failed)
+    if not injected_done:
+        out.extend(injected_block())
+    return out
+
+
+def _build_shard_scenario(config: ExperimentConfig, shard: ShardSelection) -> Scenario:
+    """The shard-projected :func:`build_scenario`: O(shard) not O(n).
+
+    Builds only what the selected worker's LSC group can ever touch:
+    the viewers of its ever-owned regions (including regions migrated
+    to it by an outage failover), the filtered slice of the event
+    schedule, and a latency world interning only those viewers plus the
+    control nodes.  Region assignment and pair delays are pure
+    functions of per-node digests, so the projected substrates are
+    byte-identical to the corresponding slice of the full build.
+
+    Schedules with churn or oscillation overlays still generate the
+    full event list before filtering (both overlays are functions of
+    global connectedness); the viewer population and latency world are
+    projected regardless, and overlay-free schedules (the scale-sweep
+    shape) stream end to end without materializing the full schedule.
+    """
+    region_names = _region_names_for(config)
+    timeline = _OwnershipTimeline(config, region_names)
+    num_workers, worker_index = shard.num_workers, shard.worker_index
+    ever_owned = timeline.ever_owned_regions(num_workers, worker_index)
+    num_regions = len(region_names)
+
+    # Region of every viewer, batch-computed once (the vectorized mix
+    # when numpy is present): hashing per viewer per event through the
+    # scalar path costs more than the construction work the projection
+    # saves.  Viewer ids are "viewer-<index>", so position 7 onward is
+    # the index into this table.
+    viewer_regions = node_region_indices(
+        config.latency_seed,
+        (f"viewer-{index:05d}" for index in range(config.num_viewers)),
+        num_regions,
+    )
+    ever_owned_indices = {
+        index for index, name in enumerate(region_names) if name in ever_owned
+    }
+    owned_flags = [region in ever_owned_indices for region in viewer_regions]
+
+    def owned_viewer(index: int, _viewer_id: str) -> bool:
+        return owned_flags[index]
+
+    def region_of_viewer(viewer_id: str) -> str:
+        return region_names[viewer_regions[int(viewer_id[7:])]]
+
+    def keep(event: ViewerEvent) -> bool:
+        if event.kind == "lsc_fail":
+            return True  # barriers reach every worker
+        owner = timeline.owner_lsc_index(
+            region_of_viewer(event.viewer_id), (event.time, event.viewer_id)
+        )
+        return owner is not None and owner % num_workers == worker_index
+
+    workload = ViewerWorkload(_workload_config(config), rng=SeededRandom(config.seed))
+    owned_viewers: List[Viewer] = []
+
+    def viewer_feed() -> Iterator[Viewer]:
+        # Feed the full population to the event generator (its RNG
+        # stream must stay byte-identical) while capturing the owned
+        # viewers as they stream past; viewers of other shards arrive
+        # as id-only stubs that skip Viewer construction entirely.
+        for viewer in workload.iter_viewers(owned=owned_viewer):
+            if viewer.__class__ is Viewer:
+                viewer.region_name = region_of_viewer(viewer.viewer_id)
+                owned_viewers.append(viewer)
+            yield viewer
+
+    if config.churn is None and config.oscillation is None:
+        if config.outage is None:
+            # Ownership is time-invariant, so the viewer-level predicate
+            # is the whole filter: other shards' viewers consume their
+            # RNG draws but never construct events.  The feed already
+            # resolved ownership -- owned viewers arrive as real Viewer
+            # objects, everyone else as a stub.
+            def owned_object(viewer: Viewer) -> bool:
+                return viewer.__class__ is Viewer
+
+            events = list(workload.iter_events(viewer_feed(), owned=owned_object))
+        else:
+            # The outage projection additionally tracks aliveness in the
+            # failed LSC's regions, so those viewers' events must exist
+            # even when another shard owns them pre-failover.
+            failed_regions = set(timeline.lsc_regions[timeline.failed_index])
+            failed_indices = {
+                index
+                for index, name in enumerate(region_names)
+                if name in failed_regions
+            }
+
+            def tracked_viewer(viewer: Viewer) -> bool:
+                return (
+                    viewer.__class__ is Viewer
+                    or viewer_regions[int(viewer.viewer_id[7:])] in failed_indices
+                )
+
+            events = _project_outage_events(
+                workload.iter_events(viewer_feed(), owned=tracked_viewer),
+                config.outage,
+                timeline,
+                region_of_viewer,
+                keep,
+            )
+    else:
+        base: Iterable[ViewerEvent] = workload.iter_events(viewer_feed())
+        if config.churn is not None:
+            churn = ChurnWorkload(config.churn, rng=SeededRandom(config.churn_seed))
+            base = churn.events(base)
+        if config.oscillation is not None:
+            base = overlay_oscillation(list(base), config.oscillation)
+        if config.outage is None:
+            events = [event for event in base if keep(event)]
+        else:
+            events = _project_outage_events(
+                base, config.outage, timeline, region_of_viewer, keep
+            )
+
+    producers = make_default_producers(
+        config.num_sites,
+        config.cameras_per_site,
+        stream_bandwidth_mbps=config.stream_bandwidth_mbps,
+        frame_rate=config.frame_rate,
+    )
+    control_nodes = (
+        ["GSC"] + [f"LSC-{index}" for index in range(config.num_lscs)] + ["CDN"]
+    )
+    lazy = (
+        config.lazy_latency
+        if config.lazy_latency is not None
+        else config.num_viewers >= LAZY_LATENCY_THRESHOLD
+    )
+    matrix = generate_planetlab_matrix(
+        [viewer.viewer_id for viewer in owned_viewers] + control_nodes,
+        rng=SeededRandom(config.latency_seed),
+        config=PlanetLabTraceConfig(region_names=region_names),
+        lazy=lazy,
+    )
+    delay_model = DelayModel(
+        matrix,
+        processing_delay=config.processing_delay,
+        cdn_delta=config.cdn_delta,
+        control_processing_delay=config.control_processing_delay,
+    )
+    cdn = CDN(config.cdn_capacity_mbps, delta=config.cdn_delta)
+    views = build_views(
+        producers,
+        num_views=config.num_views,
+        streams_per_site=config.streams_per_site_in_view,
+    )
+    return Scenario(
+        config=config,
+        viewers=owned_viewers,
+        events=events,
+        producers=producers,
+        delay_model=delay_model,
+        cdn=cdn,
+        views=views,
+        lsc_regions=timeline.lsc_regions,
+        control_node_ids=tuple(control_nodes),
+    )
+
+
+def build_scenario(
+    config: ExperimentConfig, shard: Optional[ShardSelection] = None
+) -> Scenario:
     """Construct all substrates of one scenario (shared by both runners).
 
     Controllers and the CDN are network endpoints too; including them in
@@ -179,7 +511,14 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     Every viewer is stamped with the region label of its latency-matrix
     node so the GSC's region-based LSC assignment operates on real trace
     geography.
+
+    With a :class:`ShardSelection` the build is projected down to one
+    shard worker's slice of the world (see :func:`_build_shard_scenario`);
+    the projected substrates are byte-identical to the corresponding
+    slice of the full build.
     """
+    if shard is not None:
+        return _build_shard_scenario(config, shard)
     viewers, events = _build_workload(config)
     producers = make_default_producers(
         config.num_sites,

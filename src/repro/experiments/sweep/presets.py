@@ -172,6 +172,44 @@ def scale100k_sweep(
     )
 
 
+#: Populations of the ``scale1m`` preset (the shard-filtered build's
+#: territory: the march from ``scale100k`` toward one million viewers).
+SCALE1M_POPULATIONS = (200000, 500000, 1000000)
+
+
+def scale1m_sweep(
+    base: ExperimentConfig = PAPER_CONFIG,
+    *,
+    num_lscs: int = 16,
+    shard_workers: int = 4,
+) -> SweepSpec:
+    """Scale curve toward the 1M-viewer target of the shard-filtered build.
+
+    Same engine as ``scale100k`` -- shard workers over the lazy latency
+    world and the streamed workload -- but each worker now builds *only
+    its shard's projection* of the scenario
+    (``build_scenario(config, shard=...)``), so per-worker startup no
+    longer rebuilds the whole O(n) world.  That is what moves the
+    feasible ceiling from 100k to 1M: at this scale the full rebuild
+    alone would dominate every point.  16 LSCs keep per-shard
+    populations near the ``scale100k`` regime.  TeleCast only; run with
+    ``--jobs 1`` like ``scale100k``.  Budget hours, not minutes, for
+    the full curve -- ``benchmarks/bench_scale_parallel.py --scale1m``
+    measures the single 1M point with gates if that is all you need.
+    """
+    return SweepSpec(
+        name="scale1m",
+        base=base,
+        points=_scaled_points(
+            base,
+            list(SCALE1M_POPULATIONS),
+            num_lscs=num_lscs,
+            shard_workers=shard_workers,
+        ),
+        systems=("telecast",),
+    )
+
+
 def controlplane_sweep(
     base: ExperimentConfig = PAPER_CONFIG, *, viewers: int = 120, num_lscs: int = 3
 ) -> SweepSpec:
@@ -303,6 +341,7 @@ def named_sweeps(
         "scale": scale_sweep(max_viewers=viewers, step=step, num_lscs=num_lscs),
         "scale10k": scale10k_sweep(),
         "scale100k": scale100k_sweep(),
+        "scale1m": scale1m_sweep(),
         "bandwidth": bandwidth_sweep(viewers=viewers, num_lscs=num_lscs),
         "shards": shard_sweep(viewers=viewers),
         "controlplane": controlplane_sweep(),

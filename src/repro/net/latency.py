@@ -200,6 +200,28 @@ class DelayModel:
         """Delay added by one P2P relay hop: ``d_prop + delta``."""
         return self.propagation(parent, child) + self.processing_delay
 
+    def approx_hop_delays(
+        self, parents: Iterable[str], child: str
+    ) -> Optional[List[float]]:
+        """Approximate :meth:`hop_delay` for many parents at once.
+
+        Delegates to the matrix's vectorized batch path when it has one
+        (``approx_delays_to`` on the lazy PlanetLab matrix).  Values may
+        differ from :meth:`hop_delay` by float ulps for pairs that were
+        never materialized, so callers may only use them to prefilter
+        with a safety margin and must confirm survivors through the
+        exact scalar path.  Returns ``None`` when no batch path exists.
+        """
+        approx = getattr(self.matrix, "approx_delays_to", None)
+        if approx is None:
+            return None
+        parents = list(parents)
+        delays = approx(parents, child)
+        if delays is None:
+            return None
+        processing = self.processing_delay
+        return [delay + processing for delay in delays]
+
     def end_to_end_via_parent(
         self, parent_end_to_end: float, parent: str, child: str
     ) -> float:

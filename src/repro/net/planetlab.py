@@ -23,6 +23,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+try:  # optional: only the vectorized batch path needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
 from repro.net.latency import LatencyMatrix
 from repro.net.regions import RegionMap
 from repro.sim.rng import SeededRandom
@@ -98,6 +103,45 @@ def _node_key(seed: int, node_id: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def node_region_index(seed: int, node_id: str, num_regions: int) -> int:
+    """Region index of one node, without building a matrix.
+
+    This is exactly the assignment :func:`generate_planetlab_matrix`
+    makes (``_mix64(node_key) % num_regions``): a pure function of the
+    seed and the node id.  The shard-filtered scenario build uses it to
+    decide viewer ownership before any latency world exists.
+    """
+    if num_regions <= 0:
+        raise ValueError("num_regions must be > 0")
+    return _mix64(_node_key(seed, node_id)) % num_regions
+
+
+def node_region_indices(
+    seed: int, node_ids: Iterable[str], num_regions: int
+) -> List[int]:
+    """Region indices of many nodes at once (see :func:`node_region_index`).
+
+    Streams the per-node sha256 keys and, when numpy is present,
+    finishes the splitmix64 mix vectorized -- uint64 arithmetic wraps
+    mod 2**64, so the result is bit-identical to the scalar function.
+    The shard-filtered scenario build calls this once over the whole
+    population instead of hashing per viewer per event.
+    """
+    if num_regions <= 0:
+        raise ValueError("num_regions must be > 0")
+    sha256 = hashlib.sha256
+    prefix = f"{seed}|node|".encode("utf-8")
+    from_bytes = int.from_bytes
+    keys = (
+        from_bytes(sha256(prefix + node_id.encode("utf-8")).digest()[:8], "big")
+        for node_id in node_ids
+    )
+    if _np is not None:
+        mixed = _mix64_np(_np.fromiter(keys, dtype=_np.uint64))
+        return (mixed % _np.uint64(num_regions)).tolist()
+    return [_mix64(key) % num_regions for key in keys]
+
+
 def _pair_gauss(key_low: int, key_high: int) -> float:
     """Standard-normal draw for one pair of node keys (Box-Muller).
 
@@ -119,6 +163,36 @@ def _pair_delay(
     values for any pair.
     """
     return math.exp(log_median + sigma * _pair_gauss(key_low, key_high))
+
+
+def _mix64_np(value):
+    """Vectorized splitmix64 finalizer over a uint64 array.
+
+    uint64 arithmetic wraps mod 2**64, so the integer mixing is exact
+    (bit-identical to :func:`_mix64`); only the float transcendentals in
+    the Box-Muller step downstream can differ from ``math.*`` by ulps.
+    """
+    np = _np
+    value = value + np.uint64(0x9E3779B97F4A7C15)
+    value = (value ^ (value >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    value = (value ^ (value >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return value ^ (value >> np.uint64(31))
+
+
+def _pair_delays_np(key_low, key_high, log_median, sigma: float):
+    """Vectorized :func:`_pair_delay` over uint64 key arrays.
+
+    ``log_median`` is a per-pair float64 array (intra vs inter region).
+    Approximate only in the last-ulp sense: ``np.log``/``np.cos`` etc.
+    may round differently from ``math.*``, so callers that need exact
+    values must re-verify candidates through the scalar path.
+    """
+    np = _np
+    base = _mix64_np(key_low ^ (key_high * np.uint64(0x9E3779B97F4A7C15)))
+    u1 = (_mix64_np(base).astype(np.float64) + 1.0) / 2.0**64
+    u2 = (_mix64_np(base ^ np.uint64(_U2_SALT)).astype(np.float64) + 1.0) / 2.0**64
+    gauss = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return np.exp(log_median + sigma * gauss)
 
 
 class LazyPlanetLabMatrix(LatencyMatrix):
@@ -205,6 +279,68 @@ class LazyPlanetLabMatrix(LatencyMatrix):
         self._memo[(ia, ib)] = delay
         self._record_explicit(delay)
         return delay
+
+    def approx_delays_to(
+        self, sources: Sequence[str], target: str
+    ) -> Optional[List[float]]:
+        """Approximate delays from every source to ``target``, batched.
+
+        Pairs with an exact stored value (explicit override or memoized
+        lazy draw) return that value; the rest get one vectorized
+        evaluation of the same per-pair log-normal draw, which may
+        differ from the exact scalar path by float ulps.  Nothing is
+        memoized, so a caller prefiltering candidates must re-verify the
+        survivors through :meth:`delay` -- that keeps accept/reject
+        decisions (and the memo) bit-identical to the scalar-only path.
+
+        Returns ``None`` when numpy is unavailable or ``target`` has no
+        generator key; callers fall back to the scalar path.
+        """
+        if _np is None:
+            return None
+        key_target = self._keys.get(target)
+        if key_target is None:
+            return None
+        region_of = self.regions.region_of
+        region_target = region_of(target)
+        out: List[float] = [0.0] * len(sources)
+        miss_indices: List[int] = []
+        miss_low: List[int] = []
+        miss_high: List[int] = []
+        miss_intra: List[bool] = []
+        for index, source in enumerate(sources):
+            if source == target:
+                continue  # out[index] already 0.0, matching delay(a, a)
+            exact = self._lookup(source, target)
+            if exact == exact:
+                out[index] = exact
+                continue
+            key_source = self._keys.get(source)
+            if key_source is None:
+                out[index] = self.default_delay
+                continue
+            if source > target:  # pair draws are symmetric in name order
+                low, high = key_target, key_source
+            else:
+                low, high = key_source, key_target
+            miss_indices.append(index)
+            miss_low.append(low)
+            miss_high.append(high)
+            miss_intra.append(region_of(source) == region_target)
+        if miss_indices:
+            log_median = _np.where(
+                _np.asarray(miss_intra), self._log_intra, self._log_inter
+            )
+            with _np.errstate(over="ignore"):
+                delays = _pair_delays_np(
+                    _np.asarray(miss_low, dtype=_np.uint64),
+                    _np.asarray(miss_high, dtype=_np.uint64),
+                    log_median,
+                    self._sigma,
+                )
+            for position, index in enumerate(miss_indices):
+                out[index] = float(delays[position])
+        return out
 
     def pairs(self) -> Iterable[Tuple[str, str, float]]:
         yield from super().pairs()

@@ -73,6 +73,7 @@ def run_sharded_scenario(
     profile: bool = False,
     mp_start_method: Optional[str] = None,
     stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+    shard_filtered_build: bool = True,
 ) -> ShardedScenarioResult:
     """Run one scenario with the LSC shards spread over worker processes.
 
@@ -83,6 +84,12 @@ def run_sharded_scenario(
     single-process multi-LSC run holds whenever the CDN never saturates
     (each shard accounts its own CDN reservations; an unsaturated CDN
     admits identically either way) -- the regime the parity gate pins.
+
+    ``shard_filtered_build`` (default) makes each worker build only its
+    own slice of the scenario -- O(n/k) startup instead of every worker
+    rebuilding the full world.  ``False`` forces the legacy full
+    rebuild; both paths produce byte-identical placement digests (the
+    parity contract pins this).
     """
     if config.control_plane != "instant":
         raise ValueError(
@@ -116,6 +123,7 @@ def run_sharded_scenario(
                 inboxes[index],
                 coord_queue,
             ),
+            kwargs={"shard_filtered": shard_filtered_build},
             name=f"repro-shard-{index}",
         )
         for index in range(workers)
@@ -126,6 +134,14 @@ def run_sharded_scenario(
         payload_messages = _coordinate(
             workers, coord_queue, inboxes, processes, stall_timeout
         )
+    except BaseException:
+        # Failing fast only helps if teardown is fast too: survivors are
+        # typically parked at a barrier waiting for a resume that will
+        # never come, so don't grant them the graceful join window.
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        raise
     finally:
         for process in processes:
             process.join(timeout=30.0)
@@ -142,26 +158,58 @@ def _coordinate(
     processes,
     stall_timeout: float,
 ) -> Dict[int, ShardResult]:
-    """Pump the coordinator protocol until every shard reported its result."""
+    """Pump the coordinator protocol until every shard reported its result.
+
+    A worker that dies without delivering its :class:`ShardResult` --
+    crash, kill signal, or a clean exit that skipped the protocol --
+    fails the run promptly instead of leaving the coordinator (and every
+    surviving worker blocked at a barrier) waiting out the stall
+    timeout.  A worker that exited ``0`` gets one extra poll of grace so
+    a result still draining through the queue's feeder pipe is not
+    misread as a death.
+    """
     results: Dict[int, ShardResult] = {}
     acks: Dict[int, Dict[int, ShardBarrierAck]] = {}
     waited = 0.0
+    missing_polls = 0
     while len(results) < workers:
         try:
             message = coord_queue.get(timeout=1.0)
         except queue_module.Empty:
             waited += 1.0
-            dead = [
-                p.name for p in processes if not p.is_alive() and p.exitcode not in (0, None)
+            missing = [
+                (index, process)
+                for index, process in enumerate(processes)
+                if index not in results and not process.is_alive()
             ]
-            if dead:
-                raise RuntimeError(f"shard worker(s) died: {', '.join(dead)}")
+            crashed = [
+                process for _, process in missing if process.exitcode not in (0, None)
+            ]
+            if crashed:
+                names = ", ".join(
+                    f"{process.name} (exit code {process.exitcode})"
+                    for process in crashed
+                )
+                raise RuntimeError(f"shard worker(s) died: {names}")
+            if missing:
+                missing_polls += 1
+                if missing_polls >= 2:
+                    names = ", ".join(
+                        process.name for _, process in missing
+                    )
+                    raise RuntimeError(
+                        "shard worker(s) exited without reporting a "
+                        f"result: {names}"
+                    )
+            else:
+                missing_polls = 0
             if waited >= stall_timeout:
                 raise RuntimeError(
                     f"sharded run stalled: no worker message for {stall_timeout:.0f}s"
                 )
             continue
         waited = 0.0
+        missing_polls = 0
         if isinstance(message, ShardError):
             raise RuntimeError(
                 f"shard {message.shard_index} failed:\n{message.error}"

@@ -78,8 +78,15 @@ def run_shard_worker(
     inbox,
     outbox,
     barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+    shard_filtered: bool = True,
 ) -> None:
-    """Process entry point of one shard worker (module-level: picklable)."""
+    """Process entry point of one shard worker (module-level: picklable).
+
+    With ``shard_filtered`` (the default) the worker builds only its own
+    slice of the scenario (``build_scenario(config, shard=...)``); pass
+    ``False`` to force the legacy full rebuild (the equivalence oracle
+    the parity tests compare against).
+    """
     transport = ShardQueueTransport(inbox, outbox)
     try:
         _run(
@@ -90,6 +97,7 @@ def run_shard_worker(
             profile,
             transport,
             barrier_timeout,
+            shard_filtered,
         )
     except Exception:  # pragma: no cover - surfaced by the coordinator
         transport.send(
@@ -111,13 +119,25 @@ def _run(
     profile: bool,
     transport: ShardQueueTransport,
     barrier_timeout: float,
+    shard_filtered: bool = True,
 ) -> None:
     # Imported here so a spawn-started worker pays the import once, in
     # the child, instead of requiring the parent's module state.
-    from repro.experiments.runner import build_scenario
+    from repro.experiments.runner import ShardSelection, build_scenario
 
-    scenario = build_scenario(config)
     my_indices = shard_lsc_indices(config.num_lscs, num_workers, worker_index)
+    if not my_indices:
+        raise ValueError(
+            f"shard worker {worker_index} of {num_workers} owns no LSCs "
+            f"(num_lscs={config.num_lscs}); workers beyond the LSC count "
+            "would replay an empty schedule and silently skew the merge"
+        )
+    shard = (
+        ShardSelection(num_workers=num_workers, worker_index=worker_index)
+        if shard_filtered
+        else None
+    )
+    scenario = build_scenario(config, shard=shard)
     lsc_ids = [f"LSC-{i}" for i in my_indices]
     system = TeleCastSystem(
         scenario.producers,

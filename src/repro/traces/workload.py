@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.viewer import Viewer
 from repro.sim.rng import SeededRandom
@@ -148,6 +148,20 @@ class WorkloadConfig:
         require_positive(self.session_duration, "session_duration")
 
 
+class _StubViewer:
+    """Placeholder for a viewer some other shard owns.
+
+    Carries only the id the event generator needs; the shard-filtered
+    scenario build never constructs (or validates) a full
+    :class:`~repro.model.viewer.Viewer` for population it will drop.
+    """
+
+    __slots__ = ("viewer_id",)
+
+    def __init__(self, viewer_id: str) -> None:
+        self.viewer_id = viewer_id
+
+
 class ViewerWorkload:
     """Deterministic generator of viewer populations and event schedules."""
 
@@ -159,20 +173,55 @@ class ViewerWorkload:
 
     def viewers(self) -> List[Viewer]:
         """Generate the viewer population."""
+        return list(self.iter_viewers())
+
+    def iter_viewers(
+        self, *, owned: Optional[Callable[[int, str], bool]] = None
+    ) -> Iterator[Viewer]:
+        """Stream the viewer population in id order.
+
+        Yields exactly the sequence :meth:`viewers` returns (same RNG
+        consumption, same ids) without materializing the whole list, so
+        a shard-filtered scenario build can walk the population keeping
+        only the viewers its shard owns.
+
+        ``owned`` is that build's ownership predicate, called with each
+        viewer's ``(index, viewer_id)``: positions it rejects still
+        consume their bandwidth draw (the stream stays byte-identical)
+        but arrive as slim id-only stubs instead of validated
+        :class:`~repro.model.viewer.Viewer` objects, so the per-viewer
+        construction cost tracks the shard, not the population.
+        """
         cfg = self.config
         rng = self._rng.fork(1)
-        population: List[Viewer] = []
+        outbound = cfg.outbound
+        # Hoisted out of the per-viewer loop: the draw is the same one
+        # ``outbound.sample`` makes, minus 100k dispatches at scale.
+        if outbound.is_fixed:
+            fixed_value = outbound.low_mbps
+
+            def draw() -> float:
+                return fixed_value
+
+        else:
+            low, high, uniform = outbound.low_mbps, outbound.high_mbps, rng.uniform
+
+            def draw() -> float:
+                return uniform(low, high)
+
         for index in range(cfg.num_viewers):
-            population.append(
-                Viewer(
-                    viewer_id=f"viewer-{index:05d}",
+            viewer_id = f"viewer-{index:05d}"
+            sample = draw()
+            if owned is None or owned(index, viewer_id):
+                yield Viewer(
+                    viewer_id=viewer_id,
                     inbound_capacity_mbps=cfg.inbound_mbps,
-                    outbound_capacity_mbps=cfg.outbound.sample(rng),
+                    outbound_capacity_mbps=sample,
                     buffer_duration=cfg.buffer_duration,
                     cache_duration=cfg.cache_duration,
                 )
-            )
-        return population
+            else:
+                yield _StubViewer(viewer_id)  # type: ignore[misc]
 
     def events(self, viewers: Optional[Sequence[Viewer]] = None) -> List[ViewerEvent]:
         """Generate the time-ordered event schedule for the population.
@@ -185,7 +234,11 @@ class ViewerWorkload:
         return list(self.iter_events(viewers))
 
     def iter_events(
-        self, viewers: Optional[Sequence[Viewer]] = None
+        self,
+        viewers: Optional[Iterable[Viewer]] = None,
+        *,
+        keep: Optional[Callable[[ViewerEvent], bool]] = None,
+        owned: Optional[Callable[[Viewer], bool]] = None,
     ) -> Iterator[ViewerEvent]:
         """Stream the schedule in sorted order without materializing it.
 
@@ -198,42 +251,61 @@ class ViewerWorkload:
         increase, so everything sorting strictly before the next join's
         key is safe to emit.  A churn-free 100k-viewer schedule streams
         in O(1) memory; churn only buffers the in-flight sessions.
+
+        ``owned`` and ``keep`` are ownership predicates pushed down from
+        the shard-filtered scenario build: every RNG draw still happens
+        for every viewer (so the stream stays byte-identical to the full
+        schedule), but events of viewers ``owned`` rejects are never
+        even constructed, and constructed events ``keep`` rejects are
+        never buffered or yielded.  The result is exactly the filtered
+        subsequence of the unfiltered stream.  ``owned`` is called with
+        the incoming viewer object itself (typically a class check
+        against the stubs :meth:`iter_viewers` substitutes -- use it
+        when ownership is time-invariant), ``keep`` per event.
         """
         cfg = self.config
         if viewers is None:
-            viewers = self.viewers()
+            viewers = self.iter_viewers()
         rng = self._rng.fork(2)
         # Heap of (time, viewer_id, kind, event); a viewer emits at most
         # one event of each kind, so the key triple is unique and the
         # ViewerEvent itself is never compared.
         buffered: List[Tuple[float, str, str, ViewerEvent]] = []
 
+        # Hoisted out of the per-viewer loop; at 100k+ viewers attribute
+        # dispatch is a measurable slice of a worker's startup.
+        arrival_rate = cfg.arrival_rate_per_second
+        change_probability = cfg.view_change_probability
+        depart_probability = cfg.departure_probability
+        single_view = cfg.num_views == 1
+        heappush, heappop = heapq.heappush, heapq.heappop
+
         join_time = 0.0
         for viewer in viewers:
-            if cfg.arrival_rate_per_second:
-                join_time += rng.poisson_interarrival(cfg.arrival_rate_per_second)
+            viewer_id = viewer.viewer_id
+            if arrival_rate:
+                join_time += rng.poisson_interarrival(arrival_rate)
             # Every event generated from here on sorts at or after
-            # (join_time, viewer.viewer_id): follow-up times are bounded
-            # below by their own viewer's join time, and ids increase.
-            while buffered and buffered[0][:2] < (join_time, viewer.viewer_id):
-                yield heapq.heappop(buffered)[3]
-            view_index = self._pick_view(rng)
-            heapq.heappush(
-                buffered,
-                (
-                    join_time,
-                    viewer.viewer_id,
-                    "join",
-                    ViewerEvent(
-                        time=join_time,
-                        kind="join",
-                        viewer_id=viewer.viewer_id,
-                        view_index=view_index,
-                    ),
-                ),
-            )
+            # (join_time, viewer_id): follow-up times are bounded below
+            # by their own viewer's join time, and ids increase.
+            while buffered and buffered[0][:2] < (join_time, viewer_id):
+                yield heappop(buffered)[3]
+            mine = owned is None or owned(viewer)
+            view_index = 0 if single_view else self._pick_view(rng)
+            if mine:
+                join_event = ViewerEvent(
+                    time=join_time,
+                    kind="join",
+                    viewer_id=viewer_id,
+                    view_index=view_index,
+                )
+                if keep is None or keep(join_event):
+                    heappush(
+                        buffered,
+                        (join_time, viewer_id, "join", join_event),
+                    )
             horizon_start = join_time
-            if cfg.view_change_probability > 0 and rng.random() < cfg.view_change_probability:
+            if change_probability > 0 and rng.random() < change_probability:
                 change_time = horizon_start + rng.uniform(
                     0.0, max(1e-9, cfg.session_duration - horizon_start)
                 )
@@ -241,40 +313,36 @@ class ViewerWorkload:
                 if cfg.num_views > 1:
                     while new_view == view_index:
                         new_view = self._pick_view(rng)
-                heapq.heappush(
-                    buffered,
-                    (
-                        change_time,
-                        viewer.viewer_id,
-                        "view_change",
-                        ViewerEvent(
-                            time=change_time,
-                            kind="view_change",
-                            viewer_id=viewer.viewer_id,
-                            view_index=new_view,
-                        ),
-                    ),
-                )
+                if mine:
+                    change_event = ViewerEvent(
+                        time=change_time,
+                        kind="view_change",
+                        viewer_id=viewer_id,
+                        view_index=new_view,
+                    )
+                    if keep is None or keep(change_event):
+                        heappush(
+                            buffered,
+                            (change_time, viewer_id, "view_change", change_event),
+                        )
                 horizon_start = change_time
-            if cfg.departure_probability > 0 and rng.random() < cfg.departure_probability:
+            if depart_probability > 0 and rng.random() < depart_probability:
                 depart_time = horizon_start + rng.uniform(
                     0.0, max(1e-9, cfg.session_duration - horizon_start)
                 )
-                heapq.heappush(
-                    buffered,
-                    (
-                        depart_time,
-                        viewer.viewer_id,
-                        "depart",
-                        ViewerEvent(
-                            time=depart_time,
-                            kind="depart",
-                            viewer_id=viewer.viewer_id,
-                        ),
-                    ),
-                )
+                if mine:
+                    depart_event = ViewerEvent(
+                        time=depart_time,
+                        kind="depart",
+                        viewer_id=viewer_id,
+                    )
+                    if keep is None or keep(depart_event):
+                        heappush(
+                            buffered,
+                            (depart_time, viewer_id, "depart", depart_event),
+                        )
         while buffered:
-            yield heapq.heappop(buffered)[3]
+            yield heappop(buffered)[3]
 
     def _pick_view(self, rng: SeededRandom) -> int:
         cfg = self.config

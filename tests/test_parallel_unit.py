@@ -2,19 +2,25 @@
 
 Everything here runs in a single process (no worker spawn), so it is not
 ``parallel``-marked: shard math, config validation, the degenerate
-single-shard driver, and the streamed workload generator the 100k sweep
-preset rides on.
+single-shard driver, the shard-projected scenario build, the
+coordinator's dead-worker detection, and the streamed workload generator
+the 100k sweep preset rides on.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import queue
+import tracemalloc
+from collections import Counter
 
 import pytest
 
 from repro.core.session import InstantDriver, ShardedDriver
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
+    ShardSelection,
     build_scenario,
     build_telecast_system,
     run_telecast_scenario,
@@ -24,10 +30,21 @@ from repro.metrics.placement import (
     per_lsc_placement_digests,
     placement_digest,
 )
-from repro.parallel.runner import resolve_worker_count, run_sharded_scenario
-from repro.parallel.worker import nearest_surviving_lsc, shard_lsc_indices
+from repro.parallel.runner import _coordinate, resolve_worker_count, run_sharded_scenario
+from repro.parallel.worker import (
+    nearest_surviving_lsc,
+    run_shard_worker,
+    shard_lsc_indices,
+)
 from repro.sim.rng import SeededRandom
-from repro.traces.workload import ViewerWorkload, WorkloadConfig
+from repro.sim.transport import ShardError
+from repro.traces.workload import (
+    ChurnConfig,
+    OutageConfig,
+    ViewerEvent,
+    ViewerWorkload,
+    WorkloadConfig,
+)
 
 
 def test_shard_lsc_indices_partition_all_lscs():
@@ -134,3 +151,174 @@ def test_iter_events_flash_crowd_buffers_one_join_at_a_time():
     assert first.viewer_id == "viewer-00000"
     rest = list(stream)
     assert len(rest) == 49
+
+
+def test_iter_events_keep_predicate_filters_without_perturbing_the_stream():
+    config = WorkloadConfig(
+        num_viewers=200,
+        num_views=4,
+        arrival_rate_per_second=20.0,
+        view_change_probability=0.4,
+        departure_probability=0.3,
+    )
+    full = list(ViewerWorkload(config, rng=SeededRandom(7)).iter_events())
+
+    def keep(event: ViewerEvent) -> bool:
+        return int(event.viewer_id.rsplit("-", 1)[1]) % 3 == 1
+
+    filtered = list(ViewerWorkload(config, rng=SeededRandom(7)).iter_events(keep=keep))
+    assert filtered == [event for event in full if keep(event)]
+    assert 0 < len(filtered) < len(full)
+
+
+def test_shard_selection_validates_bounds():
+    with pytest.raises(ValueError):
+        ShardSelection(num_workers=0, worker_index=0)
+    with pytest.raises(ValueError):
+        ShardSelection(num_workers=2, worker_index=2)
+    ShardSelection(num_workers=2, worker_index=1)
+
+
+def _event_key(event: ViewerEvent):
+    return (event.time, event.viewer_id, event.kind, event.view_index)
+
+
+@pytest.mark.parametrize(
+    "overlay",
+    ["plain", "churn", "outage", "churn+outage"],
+)
+@pytest.mark.parametrize("workers", [2, 3])
+def test_shard_projection_partitions_the_full_build(overlay, workers):
+    """The projected builds are slices of the full build, jointly exhaustive.
+
+    Non-barrier events partition exactly across the shards (each exactly
+    once, in the full schedule's order), every ``lsc_fail`` barrier
+    reaches every shard, owned viewers carry identical attributes, and
+    the projected latency world returns the full world's delays.
+    """
+    config = ExperimentConfig(
+        num_viewers=180,
+        num_views=4,
+        num_lscs=4,
+        cdn_capacity_mbps=math.inf,
+    )
+    if "churn" in overlay:
+        config = config.with_(
+            churn=ChurnConfig(failure_rate_per_second=0.05, rejoin_probability=0.5)
+        )
+    if "outage" in overlay:
+        config = config.with_(
+            outage=OutageConfig(time=5.0, lsc_index=1, viewer_fraction=0.4)
+        )
+    full = build_scenario(config)
+    shards = [
+        build_scenario(config, shard=ShardSelection(num_workers=workers, worker_index=i))
+        for i in range(workers)
+    ]
+
+    full_events = Counter(
+        _event_key(e) for e in full.events if e.kind != "lsc_fail"
+    )
+    shard_events = Counter(
+        _event_key(e) for s in shards for e in s.events if e.kind != "lsc_fail"
+    )
+    assert shard_events == full_events
+
+    barrier_count = sum(1 for e in full.events if e.kind == "lsc_fail")
+    for s in shards:
+        assert sum(1 for e in s.events if e.kind == "lsc_fail") == barrier_count
+        # Order: each shard's schedule is a subsequence of the full one.
+        own = [_event_key(e) for e in s.events]
+        own_set = set(own)
+        assert own == [_event_key(e) for e in full.events if _event_key(e) in own_set]
+        assert s.lsc_regions == full.lsc_regions
+        assert s.control_node_ids == full.control_node_ids
+
+    full_viewers = {v.viewer_id: v for v in full.viewers}
+    for s in shards:
+        for viewer in s.viewers:
+            reference = full_viewers[viewer.viewer_id]
+            assert viewer.outbound_capacity_mbps == reference.outbound_capacity_mbps
+            assert viewer.region_name == reference.region_name
+        sample = [v.viewer_id for v in s.viewers[:8]]
+        for a in sample:
+            for b in ("GSC", "CDN", "LSC-0", sample[-1]):
+                assert s.delay_model.propagation(a, b) == full.delay_model.propagation(a, b)
+
+
+def test_shard_projection_build_peak_memory_tracks_shard_not_population():
+    """The filtered build's working set scales with the shard, not with n."""
+    config = ExperimentConfig(
+        num_viewers=6000,
+        num_views=2,
+        num_lscs=8,
+        cdn_capacity_mbps=math.inf,
+        lazy_latency=True,
+    )
+    tracemalloc.start()
+    build_scenario(config)
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    shard = build_scenario(config, shard=ShardSelection(num_workers=4, worker_index=0))
+    _, shard_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # A 4-way shard holds ~1/4 of the viewers/events/matrix nodes; allow
+    # generous slack for the constant-size substrate (producers, views).
+    assert len(shard.viewers) < config.num_viewers / 2
+    assert shard_peak < full_peak * 0.6, (shard_peak, full_peak)
+
+
+def test_config_clamps_shard_workers_to_lsc_count_with_warning():
+    with pytest.warns(UserWarning, match="clamping"):
+        config = ExperimentConfig(num_viewers=10, num_lscs=2, shard_workers=5)
+    assert config.shard_workers == 2
+    # At or below the LSC count nothing warns and nothing moves.
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        config = ExperimentConfig(num_viewers=10, num_lscs=4, shard_workers=4)
+    assert config.shard_workers == 4
+
+
+def test_worker_with_empty_shard_reports_a_shard_error():
+    """A worker index beyond the LSC count must fail loudly, not idle."""
+    config = ExperimentConfig(num_viewers=10, num_lscs=2)
+    inbox, outbox = queue.Queue(), queue.Queue()
+    run_shard_worker(2, 3, config, None, False, inbox, outbox)
+    message = outbox.get_nowait()
+    assert isinstance(message, ShardError)
+    assert "owns no LSCs" in message.error
+
+
+class _FakeProcess:
+    def __init__(self, name: str, alive: bool, exitcode):
+        self.name = name
+        self._alive = alive
+        self.exitcode = exitcode
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+
+def test_coordinator_fails_fast_on_crashed_worker():
+    processes = [
+        _FakeProcess("repro-shard-0", alive=False, exitcode=-9),
+        _FakeProcess("repro-shard-1", alive=True, exitcode=None),
+    ]
+    with pytest.raises(RuntimeError, match=r"repro-shard-0 \(exit code -9\)"):
+        _coordinate(2, queue.Queue(), [queue.Queue(), queue.Queue()], processes, 60.0)
+
+
+def test_coordinator_fails_fast_on_silent_clean_exit():
+    # Exit code 0 without a ShardResult gets one poll of grace (a result
+    # could still be draining through the queue feeder), then fails.
+    processes = [
+        _FakeProcess("repro-shard-0", alive=False, exitcode=0),
+        _FakeProcess("repro-shard-1", alive=True, exitcode=None),
+    ]
+    with pytest.raises(RuntimeError, match="without reporting a result"):
+        _coordinate(2, queue.Queue(), [queue.Queue(), queue.Queue()], processes, 60.0)

@@ -68,26 +68,110 @@ def test_sharded_placement_parity(workers):
     assert merged.acceptance_ratio == snapshot.acceptance_ratio
 
 
-def test_sharded_outage_parity():
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_sharded_outage_parity(workers):
     """The lsc_fail barrier migrates exactly like the single-process path."""
     digests, summary, _snapshot = _single_process_reference(OUTAGE)
     assert summary["lsc_failovers"] == 1
     assert summary["failover_migrated_viewers"] > 0
     sharded = run_sharded_scenario(
-        dataclasses.replace(OUTAGE, shard_workers=2), snapshot_every=None
+        dataclasses.replace(OUTAGE, shard_workers=workers), snapshot_every=None
     )
     assert sharded.placement_digests == digests
     assert sharded.result.metrics.summary() == summary
 
 
-def test_sharded_churn_parity():
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_sharded_churn_parity(workers):
     """Poisson failures and rejoins replay identically inside shards."""
     digests, summary, _snapshot = _single_process_reference(CHURN)
     sharded = run_sharded_scenario(
-        dataclasses.replace(CHURN, shard_workers=3), snapshot_every=None
+        dataclasses.replace(CHURN, shard_workers=workers), snapshot_every=None
     )
     assert sharded.placement_digests == digests
     assert sharded.result.metrics.summary() == summary
+
+
+@pytest.mark.parametrize("config", [BASE, OUTAGE, CHURN], ids=["base", "outage", "churn"])
+def test_filtered_build_matches_full_rebuild_workers(config):
+    """Shard-filtered worker startup is an optimization, not a semantic.
+
+    The same sharded run with ``shard_filtered_build`` off (every worker
+    rebuilds the full world, the pre-projection behaviour) must produce
+    byte-identical digests, metrics and clocks.
+    """
+    config = dataclasses.replace(config, shard_workers=2)
+    filtered = run_sharded_scenario(config, snapshot_every=None)
+    full_rebuild = run_sharded_scenario(
+        config, snapshot_every=None, shard_filtered_build=False
+    )
+    assert filtered.placement_digests == full_rebuild.placement_digests
+    assert (
+        filtered.result.metrics.summary() == full_rebuild.result.metrics.summary()
+    )
+    assert filtered.shard_clocks == full_rebuild.shard_clocks
+
+
+@pytest.mark.slow
+def test_filtered_build_equivalence_at_100k_viewers():
+    """The scale regime the projection exists for: 100k viewers, 4 shards.
+
+    Slow-marked: the filtered and full-rebuild engines each admit 100k
+    viewers across 8 LSCs; their per-LSC digests must agree exactly.
+    """
+    config = dataclasses.replace(
+        ExperimentConfig(num_viewers=100_000, num_views=1, num_lscs=8)
+        .with_uncapped_cdn(),
+        shard_workers=4,
+    )
+    filtered = run_sharded_scenario(config, snapshot_every=None)
+    full_rebuild = run_sharded_scenario(
+        config, snapshot_every=None, shard_filtered_build=False
+    )
+    assert filtered.placement_digests == full_rebuild.placement_digests
+    assert (
+        filtered.result.metrics.summary() == full_rebuild.result.metrics.summary()
+    )
+
+
+def test_killed_worker_fails_the_run_promptly():
+    """A worker killed mid-run must surface within seconds, not after the
+    600 s stall timeout, and name the dead worker."""
+    import multiprocessing
+    import threading
+    import time as time_module
+
+    config = dataclasses.replace(
+        ExperimentConfig(num_viewers=20_000, num_views=1, num_lscs=4)
+        .with_uncapped_cdn(),
+        shard_workers=2,
+    )
+    failure: dict = {}
+
+    def run():
+        started = time_module.perf_counter()
+        try:
+            run_sharded_scenario(config, snapshot_every=None)
+        except RuntimeError as error:
+            failure["error"] = str(error)
+        failure["elapsed"] = time_module.perf_counter() - started
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    victim = None
+    deadline = time_module.perf_counter() + 30.0
+    while victim is None and time_module.perf_counter() < deadline:
+        for child in multiprocessing.active_children():
+            if child.name == "repro-shard-0":
+                victim = child
+                break
+        time_module.sleep(0.05)
+    assert victim is not None, "worker process never appeared"
+    victim.terminate()
+    thread.join(timeout=60.0)
+    assert not thread.is_alive(), "coordinator did not fail fast"
+    assert "error" in failure, "sharded run swallowed the worker death"
+    assert "repro-shard-0" in failure["error"]
 
 
 def test_sharded_run_is_deterministic():

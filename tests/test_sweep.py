@@ -342,6 +342,7 @@ class TestPresets:
             "scale",
             "scale10k",
             "scale100k",
+            "scale1m",
             "bandwidth",
             "shards",
             "controlplane",
@@ -357,6 +358,19 @@ class TestPresets:
         assert all(point.system == "telecast" for point in points)
         for point in points:
             # The CDN cap keeps the paper's supply/demand balance.
+            assert point.config.cdn_capacity_mbps == pytest.approx(
+                6000.0 * point.config.num_viewers / 1000.0
+            )
+
+    def test_scale1m_rides_the_shard_filtered_build(self):
+        spec = named_sweeps()["scale1m"]
+        points = spec.expand()
+        populations = [point.config.num_viewers for point in points]
+        assert populations == [200000, 500000, 1000000]
+        assert all(point.system == "telecast" for point in points)
+        for point in points:
+            assert point.config.num_lscs == 16
+            assert point.config.shard_workers == 4
             assert point.config.cdn_capacity_mbps == pytest.approx(
                 6000.0 * point.config.num_viewers / 1000.0
             )
